@@ -1,0 +1,128 @@
+//! Criterion microbenchmarks (E10): the compilation pipeline stage by
+//! stage, plus ablations for the design choices called out in DESIGN.md —
+//! solver backend choice and exact-vs-float loop solving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcnetkat_fdd::{CompileOptions, Manager};
+use mcnetkat_linalg::{AbsorbingChain, SolverBackend};
+use mcnetkat_net::{chain_benchmark, FailureModel, NetworkModel, RoutingScheme};
+use mcnetkat_num::Ratio;
+use mcnetkat_prism::{check_reachability, translate, McMode};
+use mcnetkat_topo::fattree;
+
+fn bench_fattree_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fattree_compile");
+    group.sample_size(10);
+    for p in [4usize, 6] {
+        let topo = fattree(p);
+        let dst = topo.find("edge0_0").unwrap();
+        for (label, failure) in [
+            ("f0", FailureModel::none()),
+            ("f1000", FailureModel::independent(Ratio::new(1, 1000))),
+        ] {
+            let model = NetworkModel::new(topo.clone(), dst, RoutingScheme::Ecmp, failure);
+            group.bench_with_input(
+                BenchmarkId::new(label, p),
+                &model,
+                |b, model| {
+                    b.iter(|| {
+                        let mgr = Manager::new();
+                        model.compile(&mgr).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_chain_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_engines");
+    group.sample_size(10);
+    let k = 4;
+    let bench = chain_benchmark(k, Ratio::new(1, 1000));
+    group.bench_function("native_fdd", |b| {
+        b.iter(|| {
+            let mgr = Manager::new();
+            let fdd = mgr.compile(&bench.program).unwrap();
+            mgr.prob_matching(fdd, &bench.input, &bench.accept)
+        })
+    });
+    group.bench_function("prism_exact", |b| {
+        b.iter(|| {
+            let auto = translate(&bench.program).unwrap();
+            check_reachability(&auto, &bench.input, &bench.accept, McMode::Exact).unwrap()
+        })
+    });
+    group.bench_function("prism_approx", |b| {
+        b.iter(|| {
+            let auto = translate(&bench.program).unwrap();
+            check_reachability(&auto, &bench.input, &bench.accept, McMode::Approx).unwrap()
+        })
+    });
+    group.bench_function("baseline_exact_inference", |b| {
+        b.iter(|| {
+            mcnetkat_baseline::ExactInference::new(64)
+                .query(&bench.program, &bench.input, &bench.accept)
+        })
+    });
+    group.finish();
+}
+
+/// Ablation: the same absorbing chain solved by each linear backend.
+fn bench_solver_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_backends");
+    // A leaky random-walk chain with 400 transient states: each state
+    // moves forward/backward with probability 0.45 and absorbs with 0.1,
+    // the shape (and conditioning) of real loop chains.
+    let n = 400;
+    let mut chain = AbsorbingChain::new(n + 2);
+    chain.set_absorbing(n);
+    chain.set_absorbing(n + 1);
+    for s in 0..n {
+        let fwd = if s + 1 >= n { n } else { s + 1 };
+        chain.add(s, fwd, Ratio::new(9, 20));
+        let back = if s == 0 { n + 1 } else { s - 1 };
+        chain.add(s, back, Ratio::new(9, 20));
+        chain.add(s, n, Ratio::new(1, 10));
+    }
+    for backend in [
+        SolverBackend::SparseLu,
+        SolverBackend::GaussSeidel,
+        SolverBackend::DenseLu,
+    ] {
+        group.bench_function(format!("{backend:?}"), |b| {
+            b.iter(|| chain.solve(backend).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: exact rational vs float loop solving inside the compiler.
+fn bench_exact_vs_float_loops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loop_solving");
+    group.sample_size(10);
+    let bench = chain_benchmark(3, Ratio::new(1, 100));
+    for (label, exact_threshold) in [("float", 0usize), ("exact", 10_000)] {
+        let opts = CompileOptions {
+            exact_threshold,
+            ..CompileOptions::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mgr = Manager::new();
+                mgr.compile_with(&bench.program, &opts).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fattree_compile,
+    bench_chain_engines,
+    bench_solver_backends,
+    bench_exact_vs_float_loops
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E4 / Figure 10 — the chain-topology tool comparison.
+//!
+//! Computes `P[H1 → H2 delivery]` on chains of `k` diamonds
+//! (`pfail = 1/1000`) with four engines:
+//!
+//! * `PNK` — the native FDD backend (closed-form loop solving),
+//! * `PPNK exact` — PRISM translation + exact rational model checking,
+//! * `PPNK approx` — PRISM translation + float iterative model checking,
+//! * `baseline` — the general-purpose exact-inference engine
+//!   (Bayonet/PSI stand-in, bounded unrolling).
+//!
+//! Paper shape: the general-purpose engine dies orders of magnitude before
+//! the domain-specific backend; PRISM sits in between.
+
+use mcnetkat_bench::{scale, secs, timed, Scale, Table};
+use mcnetkat_fdd::Manager;
+use mcnetkat_net::{chain_benchmark, chain_expected_delivery};
+use mcnetkat_num::Ratio;
+use mcnetkat_prism::{check_reachability, translate, McMode};
+
+fn main() {
+    // Per-engine size cutoffs, mirroring the paper's one-hour/64 GB
+    // limits: beyond them an engine is reported as DNF.
+    let (ks, exact_cutoff, approx_cutoff, baseline_cutoff): (Vec<usize>, usize, usize, usize) =
+        match scale() {
+            Scale::Small => (vec![1, 2, 4, 8, 16], 4, 8, 4),
+            Scale::Paper => (vec![1, 2, 4, 8, 16, 32, 64, 128], 8, 16, 8),
+        };
+    let pfail = Ratio::new(1, 1000);
+    println!("Figure 10 — chain topology comparison (pfail = 1/1000)\n");
+    let mut table = Table::new(&[
+        "k",
+        "switches",
+        "P[deliver]",
+        "PNK",
+        "PPNK(exact)",
+        "PPNK(approx)",
+        "baseline",
+    ]);
+    for k in ks {
+        let bench = chain_benchmark(k, pfail.clone());
+        let expect = chain_expected_delivery(k, &pfail);
+
+        let mgr = Manager::new();
+        let (p_native, t_native) = timed(|| {
+            let fdd = mgr.compile(&bench.program).expect("native compile");
+            mgr.prob_matching(fdd, &bench.input, &bench.accept)
+        });
+        assert_eq!(p_native, expect, "native answer mismatch at k={k}");
+
+        let (auto, t_translate) = timed(|| translate(&bench.program).expect("translate"));
+        let exact_cell = if k <= exact_cutoff {
+            let (r, t) = timed(|| {
+                check_reachability(&auto, &bench.input, &bench.accept, McMode::Exact)
+                    .expect("exact mc")
+            });
+            assert_eq!(r.exact.as_ref(), Some(&expect));
+            secs(t_translate + t)
+        } else {
+            "DNF".into()
+        };
+        let approx_cell = if k <= approx_cutoff {
+            let (r, t) = timed(|| {
+                check_reachability(&auto, &bench.input, &bench.accept, McMode::Approx)
+                    .expect("approx mc")
+            });
+            assert!((r.probability - expect.to_f64()).abs() < 1e-6);
+            secs(t_translate + t)
+        } else {
+            "DNF".into()
+        };
+
+        let baseline_cell = if k <= baseline_cutoff {
+            let engine = mcnetkat_baseline::ExactInference::new(64 * k);
+            let (r, t) = timed(|| engine.query(&bench.program, &bench.input, &bench.accept));
+            assert!((r.probability.to_f64() - expect.to_f64()).abs() < 1e-9);
+            secs(t)
+        } else {
+            "DNF".into()
+        };
+
+        table.row(vec![
+            k.to_string(),
+            (4 * k).to_string(),
+            format!("{:.6}", expect.to_f64()),
+            secs(t_native),
+            exact_cell,
+            approx_cell,
+            baseline_cell,
+        ]);
+    }
+    table.print();
+}

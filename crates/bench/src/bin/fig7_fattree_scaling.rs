@@ -1,0 +1,74 @@
+//! E2 / Figure 7 — scalability on FatTree data-center topologies.
+//!
+//! For a family of FatTrees with ECMP routing, measures the time to build
+//! the stochastic-matrix (FDD) representation with the native backend and
+//! with the PRISM-translation backend, with no failures (`#f=0`) and with
+//! independent failures of probability 1/1000.
+//!
+//! The paper's shape: the native backend scales to thousands of switches;
+//! failures cost extra; native beats the PRISM route throughout.
+
+use mcnetkat_bench::{scale, secs, timed, Scale, Table};
+use mcnetkat_fdd::Manager;
+use mcnetkat_net::{FailureModel, NetworkModel, RoutingScheme};
+use mcnetkat_num::Ratio;
+use mcnetkat_prism::{check_reachability, translate, McMode};
+use mcnetkat_topo::fattree;
+
+fn main() {
+    let ps: Vec<usize> = match scale() {
+        Scale::Small => vec![4, 6, 8],
+        Scale::Paper => vec![4, 6, 8, 10, 12, 14, 16],
+    };
+    let mut table = Table::new(&[
+        "p",
+        "switches",
+        "native(f=0)",
+        "native(f=1/1000)",
+        "prism(f=0)",
+        "prism(f=1/1000)",
+    ]);
+    for p in ps {
+        let topo = fattree(p);
+        let nsw = topo.switches().len();
+        let dst = topo.find("edge0_0").unwrap();
+        let mut cells = vec![p.to_string(), nsw.to_string()];
+
+        for failure in [
+            FailureModel::none(),
+            FailureModel::independent(Ratio::new(1, 1000)),
+        ] {
+            let model = NetworkModel::new(topo.clone(), dst, RoutingScheme::Ecmp, failure);
+            let mgr = Manager::new();
+            let (res, t) = timed(|| model.compile(&mgr));
+            res.expect("native compile");
+            cells.insert(cells.len(), secs(t));
+        }
+        // PRISM backend: translation is fast; the model-checking step
+        // dominates (one reachability query from a representative source).
+        for failure in [
+            FailureModel::none(),
+            FailureModel::independent(Ratio::new(1, 1000)),
+        ] {
+            let model = NetworkModel::new(topo.clone(), dst, RoutingScheme::Ecmp, failure);
+            let prog = model.program();
+            let src = model.ingresses()[0];
+            let input = mcnetkat_core::Packet::new()
+                .with(model.fields.sw, model.topo.sw_value(src));
+            let accept = mcnetkat_core::Pred::test(
+                model.fields.sw,
+                model.topo.sw_value(dst),
+            );
+            let (res, t) = timed(|| {
+                let auto = translate(&prog).expect("translate");
+                check_reachability(&auto, &input, &accept, McMode::Approx)
+            });
+            res.expect("prism check");
+            cells.push(secs(t));
+        }
+        table.row(cells);
+    }
+    println!("Figure 7 — FatTree scalability, ECMP routing");
+    println!("(native = FDD compile; prism = translate + model-check one query)\n");
+    table.print();
+}

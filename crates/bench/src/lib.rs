@@ -1,0 +1,128 @@
+//! Shared infrastructure for the benchmark binaries: timing, table
+//! formatting, and scale control.
+//!
+//! Every figure/table of the paper's evaluation has a dedicated binary in
+//! `src/bin` (see `DESIGN.md`'s per-experiment index). Binaries accept a
+//! `MCNETKAT_SCALE` environment variable: `small` (default, finishes in
+//! seconds), `paper` (closer to the paper's ranges; minutes).
+
+use std::time::Instant;
+
+/// Measurement scale for benchmark binaries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Fast smoke-scale parameters.
+    Small,
+    /// Parameters approaching the paper's (slow).
+    Paper,
+}
+
+/// Reads the scale from `MCNETKAT_SCALE`.
+pub fn scale() -> Scale {
+    match std::env::var("MCNETKAT_SCALE").as_deref() {
+        Ok("paper") => Scale::Paper,
+        _ => Scale::Small,
+    }
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// A simple aligned-text table writer.
+#[derive(Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifies each cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            (0..ncols)
+                .map(|i| format!("{:>width$}", cells[i], width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        let rule = "-".repeat(out.len());
+        out.push('\n');
+        out.push_str(&rule);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats seconds with three decimal places.
+pub fn secs(t: f64) -> String {
+    format!("{t:.3}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["k", "time"]);
+        t.row(vec!["1".into(), "0.5s".into()]);
+        t.row(vec!["100".into(), "12.0s".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('k'));
+        assert!(lines[3].contains("100"));
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, t) = timed(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Interned packet-field identifiers.
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// A packet field such as `sw`, `pt`, `dst`, or a logical variable like
+/// `up2`.
+///
+/// Fields are interned process-wide: two calls to [`Field::named`] with the
+/// same name return the same id, so comparisons are integer comparisons and
+/// the FDD variable order is stable.
+///
+/// # Examples
+///
+/// ```
+/// use mcnetkat_core::Field;
+/// let a = Field::named("sw");
+/// let b = Field::named("sw");
+/// assert_eq!(a, b);
+/// assert_eq!(a.name(), "sw");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Field(u32);
+
+fn interner() -> &'static Mutex<Vec<String>> {
+    static INTERNER: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+impl Field {
+    /// Interns `name` and returns its field id.
+    pub fn named(name: &str) -> Field {
+        let mut table = interner().lock().unwrap();
+        if let Some(ix) = table.iter().position(|n| n == name) {
+            return Field(ix as u32);
+        }
+        table.push(name.to_owned());
+        Field((table.len() - 1) as u32)
+    }
+
+    /// The interned name of this field.
+    pub fn name(&self) -> String {
+        interner().lock().unwrap()[self.0 as usize].clone()
+    }
+
+    /// The raw interner index (stable for the life of the process).
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Debug for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Field({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Field::named("test_field_x");
+        let b = Field::named("test_field_x");
+        let c = Field::named("test_field_y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let f = Field::named("round_trip_field");
+        assert_eq!(f.name(), "round_trip_field");
+        assert_eq!(f.to_string(), "round_trip_field");
+    }
+}

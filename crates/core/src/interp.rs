@@ -1,0 +1,500 @@
+//! Reference interpreter for the denotational semantics of Figure 3 /
+//! Figure 13: programs as maps `2^Pk → D(2^Pk)`.
+//!
+//! This is the paper's *specification* semantics. It is exponentially
+//! expensive and only used on small universes, primarily to validate the
+//! production FDD compiler (Theorem 3.1 states the two agree). Loops are
+//! evaluated by iterating the small-step chain of §4 (states are
+//! ⟨active set, output accumulator⟩ pairs); programs whose loops terminate
+//! within the iteration budget produce *exact* distributions (total mass 1),
+//! otherwise the missing mass is reported via [`SetDist::mass`].
+
+use crate::{Packet, Pred, Prog};
+use mcnetkat_num::Ratio;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A set of packets — an element of `2^Pk`.
+pub type PkSet = BTreeSet<Packet>;
+
+/// A (sub-)distribution over packet sets.
+///
+/// The total mass is 1 for fully evaluated programs and may be less when a
+/// loop exceeded the interpreter's iteration budget.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SetDist {
+    map: BTreeMap<PkSet, Ratio>,
+}
+
+impl SetDist {
+    /// The point mass on `a`.
+    pub fn dirac(a: PkSet) -> SetDist {
+        let mut map = BTreeMap::new();
+        map.insert(a, Ratio::one());
+        SetDist { map }
+    }
+
+    /// The empty sub-distribution (mass 0).
+    pub fn zero() -> SetDist {
+        SetDist::default()
+    }
+
+    /// Adds `r` probability to outcome `a`.
+    pub fn add(&mut self, a: PkSet, r: Ratio) {
+        if r.is_zero() {
+            return;
+        }
+        let slot = self.map.entry(a).or_insert_with(Ratio::zero);
+        *slot += &r;
+    }
+
+    /// Total probability mass.
+    pub fn mass(&self) -> Ratio {
+        self.map.values().cloned().sum()
+    }
+
+    /// Probability of the outcome `a`.
+    pub fn prob(&self, a: &PkSet) -> Ratio {
+        self.map.get(a).cloned().unwrap_or_else(Ratio::zero)
+    }
+
+    /// Iterates over `(outcome, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&PkSet, &Ratio)> {
+        self.map.iter()
+    }
+
+    /// Number of outcomes with positive probability.
+    pub fn support_size(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Scales every probability by `r`.
+    pub fn scale(mut self, r: &Ratio) -> SetDist {
+        if r.is_zero() {
+            return SetDist::zero();
+        }
+        for v in self.map.values_mut() {
+            *v *= r;
+        }
+        self
+    }
+
+    /// Pointwise sum of two sub-distributions.
+    pub fn sum(mut self, other: SetDist) -> SetDist {
+        for (a, r) in other.map {
+            self.add(a, r);
+        }
+        self
+    }
+
+    /// The product-then-union distribution `D(∪)(self × other)` used for
+    /// parallel composition.
+    pub fn union_product(&self, other: &SetDist) -> SetDist {
+        let mut out = SetDist::zero();
+        for (b1, r1) in &self.map {
+            for (b2, r2) in &other.map {
+                let joined: PkSet = b1.union(b2).cloned().collect();
+                out.add(joined, r1 * r2);
+            }
+        }
+        out
+    }
+}
+
+/// A (sub-)distribution over single-packet outcomes: `Some(π)` for a
+/// delivered packet, `None` for a dropped one.
+///
+/// This is the view the single-packet compiler works with; it is only valid
+/// for guarded programs on singleton inputs, where output sets have at most
+/// one element.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PacketDist {
+    map: BTreeMap<Option<Packet>, Ratio>,
+}
+
+impl PacketDist {
+    /// Probability of producing packet `pk`.
+    pub fn prob(&self, pk: &Packet) -> Ratio {
+        self.map
+            .get(&Some(pk.clone()))
+            .cloned()
+            .unwrap_or_else(Ratio::zero)
+    }
+
+    /// Probability of dropping the packet.
+    pub fn drop_prob(&self) -> Ratio {
+        self.map.get(&None).cloned().unwrap_or_else(Ratio::zero)
+    }
+
+    /// Total mass (1 unless a loop exceeded the iteration budget).
+    pub fn mass(&self) -> Ratio {
+        self.map.values().cloned().sum()
+    }
+
+    /// Iterates over `(outcome, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Option<Packet>, &Ratio)> {
+        self.map.iter()
+    }
+
+    /// Probability that the outcome satisfies `pred` (drops never satisfy).
+    pub fn prob_matching(&self, pred: &Pred) -> Ratio {
+        self.map
+            .iter()
+            .filter_map(|(o, r)| match o {
+                Some(pk) if pred.eval(pk) => Some(r.clone()),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// The reference interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use mcnetkat_core::{Field, Interp, Packet, Prog};
+/// use mcnetkat_num::Ratio;
+///
+/// let f = Field::named("doc_interp_f");
+/// let p = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 4), Prog::assign(f, 2));
+/// let dist = Interp::new().eval_packet(&p, &Packet::new());
+/// assert_eq!(dist.prob(&Packet::new().with(f, 1)), Ratio::new(1, 4));
+/// assert_eq!(dist.prob(&Packet::new().with(f, 2)), Ratio::new(3, 4));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Interp {
+    /// Iteration budget for `While`/`Star`; mass that has not absorbed when
+    /// the budget runs out is dropped from the result (visible via
+    /// [`SetDist::mass`]).
+    pub max_loop_iters: usize,
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Interp {
+            max_loop_iters: 10_000,
+        }
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter with the default iteration budget.
+    pub fn new() -> Interp {
+        Interp::default()
+    }
+
+    /// Creates an interpreter with a custom loop iteration budget.
+    pub fn with_budget(max_loop_iters: usize) -> Interp {
+        Interp { max_loop_iters }
+    }
+
+    /// Evaluates `p` on the input set `a`, returning the output
+    /// distribution `⟦p⟧(a)`.
+    pub fn eval(&self, p: &Prog, a: &PkSet) -> SetDist {
+        match p {
+            Prog::Filter(t) => {
+                let filtered: PkSet = a.iter().filter(|pk| t.eval(pk)).cloned().collect();
+                SetDist::dirac(filtered)
+            }
+            Prog::Assign(f, n) => {
+                let updated: PkSet = a.iter().map(|pk| pk.with(*f, *n)).collect();
+                SetDist::dirac(updated)
+            }
+            Prog::Union(p, q) => {
+                let dp = self.eval(p, a);
+                let dq = self.eval(q, a);
+                dp.union_product(&dq)
+            }
+            Prog::Seq(p, q) => self.bind(&self.eval(p, a), q),
+            Prog::Choice(branches) => {
+                let mut out = SetDist::zero();
+                for (p, r) in branches.iter() {
+                    out = out.sum(self.eval(p, a).scale(r));
+                }
+                out
+            }
+            Prog::Star(p) => self.eval_star(p, a, self.max_loop_iters),
+            Prog::If(t, p, q) => {
+                let a_t: PkSet = a.iter().filter(|pk| t.eval(pk)).cloned().collect();
+                let a_f: PkSet = a.iter().filter(|pk| !t.eval(pk)).cloned().collect();
+                let dp = self.eval(p, &a_t);
+                let dq = self.eval(q, &a_f);
+                dp.union_product(&dq)
+            }
+            Prog::While(t, p) => self.eval_while(t, p, a),
+            Prog::Local(f, n, p) => {
+                let entered: PkSet = a.iter().map(|pk| pk.with(*f, *n)).collect();
+                let body = self.eval(p, &entered);
+                self.map_sets(&body, |b| b.iter().map(|pk| pk.with(*f, 0)).collect())
+            }
+        }
+    }
+
+    /// Evaluates a guarded program on a single packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an intermediate output set has more than one packet, which
+    /// cannot happen for guarded programs (§5 "pragmatic restrictions").
+    pub fn eval_packet(&self, p: &Prog, pk: &Packet) -> PacketDist {
+        let mut a = PkSet::new();
+        a.insert(pk.clone());
+        let dist = self.eval(p, &a);
+        let mut out = PacketDist::default();
+        for (set, r) in dist.iter() {
+            assert!(
+                set.len() <= 1,
+                "guarded program produced a proper packet set: {set:?}"
+            );
+            let key = set.iter().next().cloned();
+            let slot = out.map.entry(key).or_insert_with(Ratio::zero);
+            *slot += r;
+        }
+        out
+    }
+
+    /// Evaluates `p(n)` — the `n`-th unrolling of `p*` — on input `a`,
+    /// following the small-step chain of Figure 4: states are
+    /// ⟨active set, accumulator⟩; each step unions the active set into the
+    /// accumulator and steps the active set through `p`.
+    pub fn eval_star(&self, p: &Prog, a: &PkSet, n: usize) -> SetDist {
+        // dist over (active, accumulator)
+        let mut states: BTreeMap<(PkSet, PkSet), Ratio> = BTreeMap::new();
+        states.insert((a.clone(), PkSet::new()), Ratio::one());
+        for _ in 0..n {
+            let mut next: BTreeMap<(PkSet, PkSet), Ratio> = BTreeMap::new();
+            let mut changed = false;
+            for ((active, acc), r) in &states {
+                let new_acc: PkSet = acc.union(active).cloned().collect();
+                let step = self.eval(p, active);
+                for (a2, r2) in step.iter() {
+                    let key = (a2.clone(), new_acc.clone());
+                    if &key.0 != active || &key.1 != acc {
+                        changed = true;
+                    }
+                    let slot = next.entry(key).or_insert_with(Ratio::zero);
+                    *slot += &(r * r2);
+                }
+            }
+            states = next;
+            if !changed {
+                break;
+            }
+        }
+        // Output = accumulator ∪ active (the (n+1)-step view of Prop 4.2).
+        let mut out = SetDist::zero();
+        for ((active, acc), r) in states {
+            let final_set: PkSet = acc.union(&active).cloned().collect();
+            out.add(final_set, r);
+        }
+        out
+    }
+
+    fn eval_while(&self, t: &Pred, p: &Prog, a: &PkSet) -> SetDist {
+        // States: (active t-packets, emitted ¬t-packets) with probabilities.
+        // `while t do p ≡ if t then (p ; while t do p) else skip`; on sets the
+        // guard splits the input, the false part is emitted immediately.
+        let mut out = SetDist::zero();
+        let mut frontier: BTreeMap<(PkSet, PkSet), Ratio> = BTreeMap::new();
+        {
+            let a_t: PkSet = a.iter().filter(|pk| t.eval(pk)).cloned().collect();
+            let a_f: PkSet = a.iter().filter(|pk| !t.eval(pk)).cloned().collect();
+            if a_t.is_empty() {
+                return SetDist::dirac(a_f);
+            }
+            frontier.insert((a_t, a_f), Ratio::one());
+        }
+        for _ in 0..self.max_loop_iters {
+            if frontier.is_empty() {
+                break;
+            }
+            let mut next: BTreeMap<(PkSet, PkSet), Ratio> = BTreeMap::new();
+            for ((active, emitted), r) in &frontier {
+                let step = self.eval(p, active);
+                for (b, rb) in step.iter() {
+                    let prob = r * rb;
+                    let b_t: PkSet = b.iter().filter(|pk| t.eval(pk)).cloned().collect();
+                    let b_f: PkSet = emitted
+                        .iter()
+                        .cloned()
+                        .chain(b.iter().filter(|pk| !t.eval(pk)).cloned())
+                        .collect();
+                    if b_t.is_empty() {
+                        out.add(b_f, prob);
+                    } else {
+                        let slot = next.entry((b_t, b_f)).or_insert_with(Ratio::zero);
+                        *slot += &prob;
+                    }
+                }
+            }
+            frontier = next;
+        }
+        // Mass still in `frontier` did not converge within the budget; it is
+        // intentionally dropped (sub-distribution semantics).
+        out
+    }
+
+    fn bind(&self, dist: &SetDist, q: &Prog) -> SetDist {
+        let mut out = SetDist::zero();
+        for (b, r) in dist.iter() {
+            out = out.sum(self.eval(q, b).scale(r));
+        }
+        out
+    }
+
+    fn map_sets(&self, dist: &SetDist, f: impl Fn(&PkSet) -> PkSet) -> SetDist {
+        let mut out = SetDist::zero();
+        for (b, r) in dist.iter() {
+            out.add(f(b), r.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Field;
+
+    fn singleton(pk: Packet) -> PkSet {
+        let mut s = PkSet::new();
+        s.insert(pk);
+        s
+    }
+
+    fn field(n: &str) -> Field {
+        Field::named(n)
+    }
+
+    #[test]
+    fn drop_maps_everything_to_empty() {
+        let f = field("it_f1");
+        let a = singleton(Packet::new().with(f, 3));
+        let d = Interp::new().eval(&Prog::drop(), &a);
+        assert_eq!(d.prob(&PkSet::new()), Ratio::one());
+    }
+
+    #[test]
+    fn skip_is_identity() {
+        let f = field("it_f2");
+        let a = singleton(Packet::new().with(f, 3));
+        let d = Interp::new().eval(&Prog::skip(), &a);
+        assert_eq!(d.prob(&a), Ratio::one());
+    }
+
+    #[test]
+    fn test_filters_sets() {
+        let f = field("it_f3");
+        let mut a = PkSet::new();
+        a.insert(Packet::new().with(f, 1));
+        a.insert(Packet::new().with(f, 2));
+        let d = Interp::new().eval(&Prog::test(f, 1), &a);
+        assert_eq!(d.prob(&singleton(Packet::new().with(f, 1))), Ratio::one());
+    }
+
+    #[test]
+    fn choice_splits_mass() {
+        let f = field("it_f4");
+        let p = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 3), Prog::assign(f, 2));
+        let d = Interp::new().eval_packet(&p, &Packet::new());
+        assert_eq!(d.prob(&Packet::new().with(f, 1)), Ratio::new(1, 3));
+        assert_eq!(d.prob(&Packet::new().with(f, 2)), Ratio::new(2, 3));
+        assert_eq!(d.mass(), Ratio::one());
+    }
+
+    #[test]
+    fn seq_composes() {
+        let f = field("it_f5");
+        let g = field("it_g5");
+        let p = Prog::assign(f, 1).seq(Prog::assign(g, 2));
+        let d = Interp::new().eval_packet(&p, &Packet::new());
+        assert_eq!(
+            d.prob(&Packet::new().with(f, 1).with(g, 2)),
+            Ratio::one()
+        );
+    }
+
+    #[test]
+    fn union_is_not_idempotent_on_randomness() {
+        // p & p duplicates the packet when p randomises, producing sets of
+        // size two with positive probability.
+        let f = field("it_f6");
+        let p = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 2), Prog::assign(f, 2));
+        let both = p.clone().union(p);
+        let a = singleton(Packet::new());
+        let d = Interp::new().eval(&both, &a);
+        let mut two = PkSet::new();
+        two.insert(Packet::new().with(f, 1));
+        two.insert(Packet::new().with(f, 2));
+        assert_eq!(d.prob(&two), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn while_loop_terminates_deterministically() {
+        // while f=0 do f <- 1 : one iteration, then exits.
+        let f = field("it_f7");
+        let p = Prog::while_(Pred::test(f, 0), Prog::assign(f, 1));
+        let d = Interp::new().eval_packet(&p, &Packet::new());
+        assert_eq!(d.prob(&Packet::new().with(f, 1)), Ratio::one());
+    }
+
+    #[test]
+    fn while_loop_geometric_converges() {
+        // while f=0 do (f<-1 ⊕ skip): terminates with probability 1; with a
+        // generous budget the missing mass is 2^-budget.
+        let f = field("it_f8");
+        let body = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 2), Prog::skip());
+        let p = Prog::while_(Pred::test(f, 0), body);
+        let d = Interp::with_budget(64).eval_packet(&p, &Packet::new());
+        let expect = Ratio::one() - Ratio::new(1, 2).pow(64);
+        assert_eq!(d.prob(&Packet::new().with(f, 1)), expect);
+    }
+
+    #[test]
+    fn local_variable_is_erased() {
+        let up = field("it_up9");
+        let f = field("it_f9");
+        // var up<-1 in if up=1 then f<-5 else drop
+        let p = Prog::local(
+            up,
+            1,
+            Prog::ite(Pred::test(up, 1), Prog::assign(f, 5), Prog::drop()),
+        );
+        let d = Interp::new().eval_packet(&p, &Packet::new());
+        assert_eq!(d.prob(&Packet::new().with(f, 5)), Ratio::one());
+    }
+
+    #[test]
+    fn star_of_assignment_accumulates() {
+        // (f<-1)* on {π}: outputs {π, π[f:=1]} with probability 1 after
+        // saturation (skip branch keeps π, iteration adds π[f:=1]).
+        let f = field("it_f10");
+        let pk = Packet::new().with(f, 2);
+        let d = Interp::new().eval_star(&Prog::assign(f, 1), &singleton(pk.clone()), 8);
+        let mut expect = PkSet::new();
+        expect.insert(pk);
+        expect.insert(Packet::new().with(f, 1));
+        assert_eq!(d.prob(&expect), Ratio::one());
+    }
+
+    #[test]
+    fn desugared_if_agrees_with_direct() {
+        let f = field("it_f11");
+        let g = field("it_g11");
+        let p = Prog::ite(Pred::test(f, 1), Prog::assign(g, 1), Prog::assign(g, 2));
+        let interp = Interp::new();
+        for v in [0, 1, 2] {
+            let a = singleton(Packet::new().with(f, v));
+            assert_eq!(interp.eval(&p, &a), interp.eval(&p.desugar(), &a), "input f={v}");
+        }
+    }
+
+    #[test]
+    fn prob_matching_counts_only_delivered() {
+        let f = field("it_f12");
+        let p = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 4), Prog::drop());
+        let d = Interp::new().eval_packet(&p, &Packet::new());
+        assert_eq!(d.prob_matching(&Pred::test(f, 1)), Ratio::new(1, 4));
+        assert_eq!(d.drop_prob(), Ratio::new(3, 4));
+    }
+}

@@ -1,0 +1,37 @@
+//! ProbNetKAT: syntax and reference semantics.
+//!
+//! This crate defines the guarded, history-free fragment of ProbNetKAT used
+//! by McNetKAT (Figure 2 of the paper), together with
+//!
+//! * an interned [`Field`] universe and canonical [`Packet`] representation,
+//! * smart constructors and combinators for building programs,
+//! * a pretty-printer, and
+//! * a *reference interpreter* implementing the denotational semantics of
+//!   Figure 3/Figure 13 over distributions of packet **sets** — the
+//!   `2^Pk → D(2^Pk)` model. The production compiler in `mcnetkat-fdd` works
+//!   over single packets (§5 "pragmatic restrictions"); tests use this
+//!   interpreter to validate it against the paper's semantics
+//!   (Theorem 3.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use mcnetkat_core::{Field, Prog, Pred};
+//!
+//! let sw = Field::named("sw");
+//! let pt = Field::named("pt");
+//! // if sw=1 then pt <- 2 else drop
+//! let p = Prog::ite(Pred::test(sw, 1), Prog::assign(pt, 2), Prog::drop());
+//! assert!(p.is_guarded());
+//! ```
+
+mod ast;
+mod field;
+mod interp;
+mod packet;
+mod pretty;
+
+pub use ast::{Pred, Prog};
+pub use field::Field;
+pub use interp::{Interp, PacketDist, SetDist};
+pub use packet::{Packet, Value};

@@ -1,0 +1,179 @@
+//! Canonical packet records.
+
+use crate::Field;
+use std::fmt;
+
+/// A field value (a bounded natural, Figure 2).
+pub type Value = u32;
+
+/// A packet: a record mapping fields to values.
+///
+/// Representation: a sorted association list that **omits zero-valued
+/// fields**. Zero is the canonical "out of scope" value — the paper's local
+/// variable desugaring `var f <- n in p = f<-n ; p ; f<-0` erases locals by
+/// resetting them to zero — so omitting zeros makes packet equality
+/// structural.
+///
+/// # Examples
+///
+/// ```
+/// use mcnetkat_core::{Field, Packet};
+/// let sw = Field::named("sw");
+/// let pk = Packet::new().with(sw, 3);
+/// assert_eq!(pk.get(sw), 3);
+/// assert_eq!(pk.with(sw, 0), Packet::new());
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Packet {
+    entries: Vec<(Field, Value)>,
+}
+
+impl Packet {
+    /// The packet with every field zero.
+    pub fn new() -> Packet {
+        Packet::default()
+    }
+
+    /// Builds a packet from `(field, value)` pairs (later pairs win).
+    pub fn from_pairs<I: IntoIterator<Item = (Field, Value)>>(pairs: I) -> Packet {
+        let mut pk = Packet::new();
+        for (f, v) in pairs {
+            pk.set(f, v);
+        }
+        pk
+    }
+
+    /// Reads field `f` (0 if absent).
+    pub fn get(&self, f: Field) -> Value {
+        match self.entries.binary_search_by_key(&f, |&(g, _)| g) {
+            Ok(ix) => self.entries[ix].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Sets field `f` to `v` in place.
+    pub fn set(&mut self, f: Field, v: Value) {
+        match self.entries.binary_search_by_key(&f, |&(g, _)| g) {
+            Ok(ix) => {
+                if v == 0 {
+                    self.entries.remove(ix);
+                } else {
+                    self.entries[ix].1 = v;
+                }
+            }
+            Err(ix) => {
+                if v != 0 {
+                    self.entries.insert(ix, (f, v));
+                }
+            }
+        }
+    }
+
+    /// Returns `π[f := v]` (the paper's update notation).
+    pub fn with(&self, f: Field, v: Value) -> Packet {
+        let mut pk = self.clone();
+        pk.set(f, v);
+        pk
+    }
+
+    /// Returns `true` if `π.f = v`.
+    pub fn matches(&self, f: Field, v: Value) -> bool {
+        self.get(f) == v
+    }
+
+    /// Iterates over the non-zero fields in field order.
+    pub fn iter(&self) -> impl Iterator<Item = (Field, Value)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of non-zero fields.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if every field is zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (field, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Packet{self}")
+    }
+}
+
+impl FromIterator<(Field, Value)> for Packet {
+    fn from_iter<I: IntoIterator<Item = (Field, Value)>>(iter: I) -> Packet {
+        Packet::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields() -> (Field, Field, Field) {
+        (
+            Field::named("pk_test_a"),
+            Field::named("pk_test_b"),
+            Field::named("pk_test_c"),
+        )
+    }
+
+    #[test]
+    fn zero_fields_are_canonical() {
+        let (a, _, _) = fields();
+        let pk = Packet::new().with(a, 5).with(a, 0);
+        assert_eq!(pk, Packet::new());
+        assert!(pk.is_empty());
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let (a, b, _) = fields();
+        let pk = Packet::new().with(a, 1).with(b, 2);
+        assert_eq!(pk.get(a), 1);
+        assert_eq!(pk.get(b), 2);
+        assert_eq!(pk.len(), 2);
+    }
+
+    #[test]
+    fn later_writes_win() {
+        let (a, _, _) = fields();
+        let pk = Packet::from_pairs([(a, 1), (a, 7)]);
+        assert_eq!(pk.get(a), 7);
+    }
+
+    #[test]
+    fn ordering_is_structural() {
+        let (a, b, _) = fields();
+        let p1 = Packet::new().with(a, 1);
+        let p2 = Packet::new().with(a, 1).with(b, 1);
+        assert_ne!(p1, p2);
+        // Same contents compare equal regardless of construction order.
+        let p3 = Packet::from_pairs([(b, 1), (a, 1)]);
+        assert_eq!(p2, p3);
+    }
+
+    #[test]
+    fn matches_missing_field_as_zero() {
+        let (a, b, _) = fields();
+        let pk = Packet::new().with(a, 1);
+        assert!(pk.matches(b, 0));
+        assert!(!pk.matches(b, 1));
+    }
+}

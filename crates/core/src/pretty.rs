@@ -1,0 +1,80 @@
+//! Pretty-printing of predicates and programs in the paper's concrete
+//! syntax.
+
+use crate::{Pred, Prog};
+use std::fmt;
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::False => write!(f, "drop"),
+            Pred::True => write!(f, "skip"),
+            Pred::Test(field, n) => write!(f, "{field}={n}"),
+            Pred::Or(a, b) => write!(f, "({a} & {b})"),
+            Pred::And(a, b) => write!(f, "({a} ; {b})"),
+            Pred::Not(a) => write!(f, "¬{a}"),
+        }
+    }
+}
+
+impl fmt::Display for Prog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prog::Filter(t) => write!(f, "{t}"),
+            Prog::Assign(field, n) => write!(f, "{field}<-{n}"),
+            Prog::Union(p, q) => write!(f, "({p} & {q})"),
+            Prog::Seq(p, q) => write!(f, "({p} ; {q})"),
+            Prog::Choice(branches) => {
+                write!(f, "⊕(")?;
+                for (i, (p, r)) in branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p} @ {r}")?;
+                }
+                write!(f, ")")
+            }
+            Prog::Star(p) => write!(f, "({p})*"),
+            Prog::If(t, p, q) => write!(f, "if {t} then {p} else {q}"),
+            Prog::While(t, p) => write!(f, "while {t} do {p}"),
+            Prog::Local(field, n, p) => write!(f, "var {field}<-{n} in {p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Field, Pred, Prog};
+    use mcnetkat_num::Ratio;
+
+    #[test]
+    fn renders_running_example() {
+        let sw = Field::named("pretty_sw");
+        let pt = Field::named("pretty_pt");
+        let p = Prog::ite(
+            Pred::test(sw, 1),
+            Prog::assign(pt, 2),
+            Prog::ite(Pred::test(sw, 2), Prog::assign(pt, 2), Prog::drop()),
+        );
+        let s = p.to_string();
+        assert!(s.contains("if pretty_sw=1 then pretty_pt<-2"));
+        assert!(s.contains("else if pretty_sw=2"));
+    }
+
+    #[test]
+    fn renders_choice_with_probabilities() {
+        let pt = Field::named("pretty2_pt");
+        let p = Prog::choice2(Prog::assign(pt, 2), Ratio::new(1, 2), Prog::assign(pt, 3));
+        assert_eq!(p.to_string(), "⊕(pretty2_pt<-2 @ 1/2, pretty2_pt<-3 @ 1/2)");
+    }
+
+    #[test]
+    fn renders_while_and_local() {
+        let up = Field::named("pretty_up");
+        let p = Prog::local(up, 1, Prog::while_(Pred::test(up, 1), Prog::assign(up, 0)));
+        assert_eq!(
+            p.to_string(),
+            "var pretty_up<-1 in while pretty_up=1 do pretty_up<-0"
+        );
+    }
+}

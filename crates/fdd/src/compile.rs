@@ -1,0 +1,275 @@
+//! Compilation of guarded ProbNetKAT programs to probabilistic FDDs
+//! (the "Compile" arrow of Figure 5).
+
+use crate::{loops, Action, ActionDist, Fdd, Manager};
+use mcnetkat_core::{Pred, Prog};
+use mcnetkat_linalg::{LinalgError, SolverBackend};
+use std::fmt;
+
+/// Options controlling compilation.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Linear-solver backend used for `while` loops.
+    pub backend: SolverBackend,
+    /// Upper bound on the symbolic state space explored per loop.
+    pub state_limit: usize,
+    /// Loops whose transient state count is at most this bound are solved
+    /// with *exact* rational elimination instead of the float backend, so
+    /// that downstream equivalence checks are exact. Set to 0 to always use
+    /// the float backend.
+    pub exact_threshold: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            backend: SolverBackend::SparseLu,
+            state_limit: 4_000_000,
+            exact_threshold: 512,
+        }
+    }
+}
+
+/// Errors produced by the compiler.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// The program uses `&` or `*` — outside the guarded fragment (§5).
+    Unguarded(&'static str),
+    /// A loop's symbolic state space exceeded the configured limit.
+    StateSpaceTooLarge {
+        /// States discovered before giving up.
+        discovered: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The linear solver failed.
+    Solver(LinalgError),
+    /// A loop guard compiled to a probabilistic diagram.
+    ProbabilisticGuard,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Unguarded(op) => {
+                write!(f, "operator `{op}` is outside the guarded fragment")
+            }
+            CompileError::StateSpaceTooLarge { discovered, limit } => write!(
+                f,
+                "loop state space exceeded limit ({discovered} ≥ {limit})"
+            ),
+            CompileError::Solver(e) => write!(f, "linear solver failed: {e}"),
+            CompileError::ProbabilisticGuard => {
+                write!(f, "loop guard is probabilistic")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<LinalgError> for CompileError {
+    fn from(e: LinalgError) -> Self {
+        CompileError::Solver(e)
+    }
+}
+
+impl Manager {
+    /// Compiles a predicate to a pass/drop FDD.
+    pub fn compile_pred(&self, t: &Pred) -> Fdd {
+        match t {
+            Pred::False => self.fail(),
+            Pred::True => self.pass(),
+            Pred::Test(f, v) => self.branch(*f, *v, self.pass(), self.fail()),
+            Pred::Or(a, b) => {
+                let fa = self.compile_pred(a);
+                let fb = self.compile_pred(b);
+                self.ite(fa, self.pass(), fb)
+            }
+            Pred::And(a, b) => {
+                let fa = self.compile_pred(a);
+                let fb = self.compile_pred(b);
+                self.ite(fa, fb, self.fail())
+            }
+            Pred::Not(a) => {
+                let fa = self.compile_pred(a);
+                self.ite(fa, self.fail(), self.pass())
+            }
+        }
+    }
+
+    /// Compiles a guarded program to its big-step FDD with default options.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile(&self, p: &Prog) -> Result<Fdd, CompileError> {
+        self.compile_with(p, &CompileOptions::default())
+    }
+
+    /// Compiles `while guard do body` from already-compiled guard and body
+    /// FDDs — the entry point used by the parallel backend, which
+    /// assembles the loop body out of per-switch diagrams compiled on
+    /// worker threads.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn while_loop(
+        &self,
+        guard: Fdd,
+        body: Fdd,
+        opts: &CompileOptions,
+    ) -> Result<Fdd, CompileError> {
+        loops::compile_while(self, guard, body, opts)
+    }
+
+    /// Compiles a guarded program with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_with(&self, p: &Prog, opts: &CompileOptions) -> Result<Fdd, CompileError> {
+        match p {
+            Prog::Filter(t) => Ok(self.compile_pred(t)),
+            Prog::Assign(f, v) => Ok(self.leaf(ActionDist::dirac(Action::assign(*f, *v)))),
+            Prog::Union(..) => Err(CompileError::Unguarded("&")),
+            Prog::Star(..) => Err(CompileError::Unguarded("*")),
+            Prog::Seq(a, b) => {
+                let fa = self.compile_with(a, opts)?;
+                let fb = self.compile_with(b, opts)?;
+                Ok(self.seq(fa, fb))
+            }
+            Prog::Choice(branches) => {
+                let mut compiled = Vec::with_capacity(branches.len());
+                for (q, r) in branches.iter() {
+                    compiled.push((self.compile_with(q, opts)?, r.clone()));
+                }
+                Ok(self.convex(&compiled))
+            }
+            Prog::If(t, a, b) => {
+                let ft = self.compile_pred(t);
+                let fa = self.compile_with(a, opts)?;
+                let fb = self.compile_with(b, opts)?;
+                Ok(self.ite(ft, fa, fb))
+            }
+            Prog::While(t, body) => {
+                let guard = self.compile_pred(t);
+                let fbody = self.compile_with(body, opts)?;
+                loops::compile_while(self, guard, fbody, opts)
+            }
+            Prog::Local(f, n, body) => {
+                let enter = self.leaf(ActionDist::dirac(Action::assign(*f, *n)));
+                let fbody = self.compile_with(body, opts)?;
+                let erase = self.leaf(ActionDist::dirac(Action::assign(*f, 0)));
+                let inner = self.seq(fbody, erase);
+                Ok(self.seq(enter, inner))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnetkat_core::{Field, Packet};
+    use mcnetkat_num::Ratio;
+
+    fn fields() -> (Field, Field) {
+        (Field::named("cmp_f"), Field::named("cmp_g"))
+    }
+
+    #[test]
+    fn compiles_running_example_fragment() {
+        // Figure 5's program: if pt=1 then pt<-2 ⊕0.5 pt<-3 else …
+        let mgr = Manager::new();
+        let pt = Field::named("cmp_pt");
+        let prog = Prog::case(
+            vec![
+                (
+                    Pred::test(pt, 1),
+                    Prog::choice2(Prog::assign(pt, 2), Ratio::new(1, 2), Prog::assign(pt, 3)),
+                ),
+                (Pred::test(pt, 2), Prog::assign(pt, 1)),
+                (Pred::test(pt, 3), Prog::assign(pt, 1)),
+            ],
+            Prog::drop(),
+        );
+        let fdd = mgr.compile(&prog).unwrap();
+        let d1 = mgr.eval(fdd, &Packet::new().with(pt, 1));
+        assert_eq!(d1.prob(&Action::assign(pt, 2)), Ratio::new(1, 2));
+        assert_eq!(d1.prob(&Action::assign(pt, 3)), Ratio::new(1, 2));
+        let d2 = mgr.eval(fdd, &Packet::new().with(pt, 2));
+        assert_eq!(d2, ActionDist::dirac(Action::assign(pt, 1)));
+        let dstar = mgr.eval(fdd, &Packet::new().with(pt, 9));
+        assert!(dstar.is_drop());
+    }
+
+    #[test]
+    fn predicates_obey_boolean_algebra() {
+        let mgr = Manager::new();
+        let (f, g) = fields();
+        let t1 = Pred::test(f, 1);
+        let t2 = Pred::test(g, 2);
+        // De Morgan: ¬(t1 & t2) = ¬t1 ; ¬t2
+        let lhs = mgr.compile_pred(&t1.clone().or(t2.clone()).not());
+        let rhs = mgr.compile_pred(&t1.not().and(t2.not()));
+        assert_eq!(lhs, rhs); // hash-consing makes this pointer equality
+    }
+
+    #[test]
+    fn rejects_unguarded_operators() {
+        let mgr = Manager::new();
+        assert!(matches!(
+            mgr.compile(&Prog::skip().union(Prog::drop())),
+            Err(CompileError::Unguarded("&"))
+        ));
+        assert!(matches!(
+            mgr.compile(&Prog::skip().star()),
+            Err(CompileError::Unguarded("*"))
+        ));
+    }
+
+    #[test]
+    fn local_erases_on_exit() {
+        let mgr = Manager::new();
+        let (f, g) = fields();
+        let prog = Prog::local(
+            f,
+            1,
+            Prog::ite(Pred::test(f, 1), Prog::assign(g, 7), Prog::drop()),
+        );
+        let fdd = mgr.compile(&prog).unwrap();
+        let d = mgr.eval(fdd, &Packet::new());
+        // f is reset to 0 (= absent), g is 7.
+        assert_eq!(
+            d,
+            ActionDist::dirac(Action::mods([(f, 0), (g, 7)]))
+        );
+        let out = d.iter().next().unwrap().0.apply(&Packet::new()).unwrap();
+        assert_eq!(out, Packet::new().with(g, 7));
+    }
+
+    #[test]
+    fn assignment_then_test_is_resolved() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let prog = Prog::assign(f, 3).seq(Prog::test(f, 3));
+        let fdd = mgr.compile(&prog).unwrap();
+        assert_eq!(fdd, mgr.compile(&Prog::assign(f, 3)).unwrap());
+        let contradiction = Prog::assign(f, 3).seq(Prog::test(f, 4));
+        assert_eq!(mgr.compile(&contradiction).unwrap(), mgr.fail());
+    }
+
+    #[test]
+    fn choice_of_choices_flattens_probabilities() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let inner = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 2), Prog::assign(f, 2));
+        let outer = Prog::choice2(inner, Ratio::new(1, 2), Prog::assign(f, 1));
+        let fdd = mgr.compile(&outer).unwrap();
+        let d = mgr.eval(fdd, &Packet::new());
+        assert_eq!(d.prob(&Action::assign(f, 1)), Ratio::new(3, 4));
+        assert_eq!(d.prob(&Action::assign(f, 2)), Ratio::new(1, 4));
+    }
+}

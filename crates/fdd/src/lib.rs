@@ -1,0 +1,49 @@
+//! Probabilistic forwarding decision diagrams: McNetKAT's native backend.
+//!
+//! This crate implements §5.1 of the paper: compilation of guarded
+//! ProbNetKAT programs to hash-consed probabilistic FDDs, with `while`
+//! loops solved in closed form via absorbing Markov chains (§4) over a
+//! dynamically reduced symbolic-packet domain.
+//!
+//! # Pipeline (Figure 5)
+//!
+//! ```text
+//! Prog ──compile──▶ probabilistic FDD ──(loops)──▶ sparse (I−Q)X=R solve
+//!                        ▲                                   │
+//!                        └──────────── rebuild ◀─────────────┘
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use mcnetkat_core::{Field, Packet, Pred, Prog};
+//! use mcnetkat_fdd::Manager;
+//! use mcnetkat_num::Ratio;
+//!
+//! let mgr = Manager::new();
+//! let f = Field::named("doc_fdd_f");
+//! // A loop that exits with probability 1: closed form, not approximation.
+//! let body = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 2), Prog::skip());
+//! let prog = Prog::while_(Pred::test(f, 0), body);
+//! let fdd = mgr.compile(&prog)?;
+//! assert_eq!(mgr.prob_delivery(fdd, &Packet::new()), Ratio::one());
+//! # Ok::<(), mcnetkat_fdd::CompileError>(())
+//! ```
+
+mod action;
+mod compile;
+mod export;
+mod loops;
+mod manager;
+mod matrix;
+mod query;
+mod sympkt;
+
+pub use action::{Action, ActionDist};
+pub use compile::{CompileError, CompileOptions};
+pub use export::FddExport;
+pub(crate) use manager::Node;
+pub use manager::{Fdd, Manager};
+pub use matrix::BigStepMatrix;
+pub use query::{OutputDist, SymOutputDist};
+pub use sympkt::{step, Domain, SymPkt};

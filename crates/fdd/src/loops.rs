@@ -1,0 +1,404 @@
+//! Closed-form compilation of `while` loops (§4 / Theorem 4.7, specialised
+//! to single packets).
+//!
+//! `while t do p` on a single packet is an absorbing Markov chain over
+//! symbolic packets: guard-false states absorb with the packet as output;
+//! guard-true states step through the body's FDD; the `drop` outcome
+//! absorbs in `∅`. The absorption probabilities `A = (I − Q)^{-1} R`
+//! (equation 2) give the loop's big-step distribution exactly. Mass that
+//! can never reach an absorbing state corresponds to non-termination, which
+//! the semantics identifies with `drop`.
+//!
+//! The state space uses *dynamic domain reduction* (§5.1): input classes
+//! are the product, over fields tested by the guard or body, of the tested
+//! values plus a wildcard; exploration then closes the set under the body's
+//! modifications.
+
+use crate::{Action, ActionDist, CompileError, CompileOptions, Fdd, Manager, SymPkt};
+use mcnetkat_core::{Field, Value};
+use mcnetkat_linalg::AbsorbingChain;
+use mcnetkat_num::Ratio;
+use std::collections::HashMap;
+
+/// Index of the distinguished `∅` (dropped) state.
+const DROP_STATE: usize = 0;
+
+/// Compiles `while guard do body` given compiled guard and body FDDs.
+///
+/// # Errors
+///
+/// Fails if the symbolic state space exceeds `opts.state_limit`, the guard
+/// is probabilistic, or the linear solver fails.
+pub fn compile_while(
+    mgr: &Manager,
+    guard: Fdd,
+    body: Fdd,
+    opts: &CompileOptions,
+) -> Result<Fdd, CompileError> {
+    // 1. Dynamic domain: fields/values tested by guard or body.
+    let mut dom = mgr.domain(guard);
+    dom.merge(&mgr.domain(body));
+    if dom.class_count() > opts.state_limit {
+        return Err(CompileError::StateSpaceTooLarge {
+            discovered: dom.class_count(),
+            limit: opts.state_limit,
+        });
+    }
+    let input_classes = dom.input_classes();
+
+    // 2. Explore the chain from every input class.
+    //    State 0 is ∅; symbolic packets are states 1….
+    let mut index: HashMap<SymPkt, usize> = HashMap::new();
+    let mut states: Vec<SymPkt> = Vec::new();
+    let mut worklist: Vec<usize> = Vec::new();
+    let mut intern =
+        |pk: SymPkt, states: &mut Vec<SymPkt>, worklist: &mut Vec<usize>| -> usize {
+            if let Some(&ix) = index.get(&pk) {
+                return ix;
+            }
+            let ix = states.len() + 1; // offset for DROP_STATE
+            index.insert(pk.clone(), ix);
+            states.push(pk);
+            worklist.push(ix);
+            ix
+        };
+    for class in &input_classes {
+        intern(class.clone(), &mut states, &mut worklist);
+    }
+    // transitions[s] = (absorbing?, [(target, prob)])
+    let mut rows: HashMap<usize, Vec<(usize, Ratio)>> = HashMap::new();
+    let mut absorbing: Vec<usize> = vec![DROP_STATE];
+    while let Some(ix) = worklist.pop() {
+        if states.len() + 1 > opts.state_limit {
+            return Err(CompileError::StateSpaceTooLarge {
+                discovered: states.len() + 1,
+                limit: opts.state_limit,
+            });
+        }
+        let pk = states[ix - 1].clone();
+        let gd = mgr.eval_sym(guard, &pk);
+        if gd.is_drop() {
+            absorbing.push(ix);
+            continue;
+        }
+        if !gd.is_skip() {
+            return Err(CompileError::ProbabilisticGuard);
+        }
+        let dist = mgr.eval_sym(body, &pk);
+        let mut row = Vec::with_capacity(dist.support_size());
+        for (action, r) in dist.iter() {
+            let target = match pk.apply(action) {
+                None => DROP_STATE,
+                Some(next) => intern(next, &mut states, &mut worklist),
+            };
+            row.push((target, r.clone()));
+        }
+        rows.insert(ix, row);
+    }
+    let n = states.len() + 1;
+
+    // 3. Drop states that cannot reach an absorbing state: they represent
+    //    sure non-termination, which the semantics equates with drop.
+    let mut reaches = vec![false; n];
+    for &a in &absorbing {
+        reaches[a] = true;
+    }
+    // Backward reachability via reverse adjacency.
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (&s, row) in &rows {
+        for (t, _) in row {
+            rev[*t].push(s);
+        }
+    }
+    let mut stack: Vec<usize> = absorbing.clone();
+    while let Some(s) = stack.pop() {
+        for &prev in &rev[s] {
+            if !reaches[prev] {
+                reaches[prev] = true;
+                stack.push(prev);
+            }
+        }
+    }
+
+    // 4. Build and solve the absorbing chain. Transitions into unreachable
+    //    states are redirected to ∅ (their mass never produces output).
+    let mut chain = AbsorbingChain::new(n);
+    for &a in &absorbing {
+        chain.set_absorbing(a);
+    }
+    for s in 0..n {
+        if chain.is_absorbing(s) {
+            continue;
+        }
+        if !reaches[s] {
+            // Never absorbs: model as immediately absorbing into ∅ —
+            // we simply leave its row empty and mark it absorbed-to-drop by
+            // sending all mass to DROP_STATE.
+            chain.add(s, DROP_STATE, Ratio::one());
+            continue;
+        }
+        let row = rows.get(&s).expect("transient state without a row");
+        for (t, r) in row {
+            let target = if reaches[*t] { *t } else { DROP_STATE };
+            chain.add(s, target, r.clone());
+        }
+    }
+    // Compact index maps (same ordering as the chain's internal partition:
+    // states scanned in id order).
+    let mut transient_rank = vec![usize::MAX; n];
+    let mut absorbing_rank = vec![usize::MAX; n];
+    let mut absorbing_ids = Vec::new();
+    {
+        let (mut t, mut a) = (0, 0);
+        for s in 0..n {
+            if chain.is_absorbing(s) {
+                absorbing_rank[s] = a;
+                absorbing_ids.push(s);
+                a += 1;
+            } else {
+                transient_rank[s] = t;
+                t += 1;
+            }
+        }
+    }
+    let nt = n - absorbing_ids.len();
+
+    // Absorption probabilities as exact rationals: small chains are solved
+    // exactly; larger ones go through the float backend and get snapped
+    // (the paper likewise trusts the 64-bit-float solver).
+    let absorption: Vec<Vec<Ratio>> = if nt <= opts.exact_threshold {
+        chain.solve_exact()?
+    } else {
+        let solution = chain.solve(opts.backend)?;
+        (0..n)
+            .filter(|&s| !chain.is_absorbing(s))
+            .map(|s| {
+                absorbing_ids
+                    .iter()
+                    .map(|&a| snap_probability(solution.prob(s, a)))
+                    .collect()
+            })
+            .collect()
+    };
+
+    // 5. Build the leaf distribution for each input class.
+    let mut class_dists: HashMap<SymPkt, ActionDist> = HashMap::new();
+    for class in &input_classes {
+        let ix = index[class];
+        let dist = if chain.is_absorbing(ix) {
+            if ix == DROP_STATE {
+                ActionDist::drop()
+            } else {
+                // Guard already false: the loop is the identity here.
+                ActionDist::skip()
+            }
+        } else {
+            let mut d = ActionDist::zero();
+            let mut total = Ratio::zero();
+            let row = &absorption[transient_rank[ix]];
+            for (a_rank, pr) in row.iter().enumerate() {
+                if pr.is_zero() || pr.is_negative() {
+                    continue;
+                }
+                let a = absorbing_ids[a_rank];
+                let action = if a == DROP_STATE {
+                    Action::Drop
+                } else {
+                    states[a - 1].as_action()
+                };
+                total += pr;
+                d.add(action, pr.clone());
+            }
+            // Residual mass: genuine non-termination goes to drop, but a
+            // deficit within float tolerance is solver rounding from the
+            // float path — renormalise it into the heaviest entry instead
+            // of fabricating a spurious drop.
+            let deficit = Ratio::one() - total;
+            if !deficit.is_zero() {
+                if deficit.to_f64().abs() < 1e-9 {
+                    // Rebuild with the heaviest entry adjusted so the mass
+                    // is exactly 1 (deficit may have either sign).
+                    if let Some(heaviest) = d
+                        .iter()
+                        .max_by(|(_, a), (_, b)| a.cmp(b))
+                        .map(|(a, _)| a.clone())
+                    {
+                        d = ActionDist::from_pairs(d.iter().map(|(a, r)| {
+                            if *a == heaviest {
+                                (a.clone(), r + &deficit)
+                            } else {
+                                (a.clone(), r.clone())
+                            }
+                        }));
+                    }
+                } else if deficit > Ratio::zero() {
+                    d.add(Action::Drop, deficit);
+                }
+            }
+            d
+        };
+        class_dists.insert(class.clone(), dist);
+    }
+
+    // 6. Rebuild the big-step FDD over the tested fields.
+    let fields: Vec<(Field, Vec<Value>)> = dom
+        .tested
+        .iter()
+        .map(|(f, vs)| (*f, vs.clone()))
+        .collect();
+    Ok(build_tree(mgr, &fields, 0, SymPkt::star(), &class_dists))
+}
+
+/// Converts a solver float to an exact probability, snapping values within
+/// 1e-9 of an integer (the solver returns exactly-0/1 rows up to rounding).
+fn snap_probability(p: f64) -> Ratio {
+    let clamped = p.clamp(0.0, 1.0);
+    let rounded = clamped.round();
+    if (clamped - rounded).abs() < 1e-9 {
+        Ratio::from_integer(rounded as i64)
+    } else {
+        Ratio::from_f64(clamped)
+    }
+}
+
+/// Builds the decision tree for the loop result: fields in FDD order, each
+/// field's tested values in ascending order, with the wildcard class on the
+/// final false-branch.
+fn build_tree(
+    mgr: &Manager,
+    fields: &[(Field, Vec<Value>)],
+    fi: usize,
+    class: SymPkt,
+    dists: &HashMap<SymPkt, ActionDist>,
+) -> Fdd {
+    if fi == fields.len() {
+        let dist = dists
+            .get(&class)
+            .cloned()
+            .expect("input class missing from solution");
+        return mgr.leaf(dist);
+    }
+    let (field, values) = &fields[fi];
+    // Build the chain bottom-up: start with the wildcard branch.
+    let mut result = build_tree(mgr, fields, fi + 1, class.clone(), dists);
+    for &v in values.iter().rev() {
+        let hi = build_tree(mgr, fields, fi + 1, class.with(*field, v), dists);
+        result = mgr.branch(*field, v, hi, result);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnetkat_core::{Field, Packet, Pred, Prog};
+
+    fn field(n: &str) -> Field {
+        Field::named(n)
+    }
+
+    #[test]
+    fn single_iteration_loop() {
+        let mgr = Manager::new();
+        let f = field("lp_f1");
+        // while f=0 do f<-1
+        let prog = Prog::while_(Pred::test(f, 0), Prog::assign(f, 1));
+        let fdd = mgr.compile(&prog).unwrap();
+        let d = mgr.eval(fdd, &Packet::new()); // f=0 initially
+        let out: Vec<_> = d
+            .iter()
+            .map(|(a, r)| (a.apply(&Packet::new()), r.clone()))
+            .collect();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Some(Packet::new().with(f, 1)));
+        assert_eq!(out[0].1, Ratio::one());
+        // Guard already false: identity.
+        let d2 = mgr.eval(fdd, &Packet::new().with(f, 5));
+        assert!(d2.is_skip());
+    }
+
+    #[test]
+    fn geometric_loop_solves_exactly() {
+        let mgr = Manager::new();
+        let f = field("lp_f2");
+        // while f=0 do (f<-1 ⊕½ skip): exits with probability 1.
+        let body = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 2), Prog::skip());
+        let prog = Prog::while_(Pred::test(f, 0), body);
+        let fdd = mgr.compile(&prog).unwrap();
+        let d = mgr.eval(fdd, &Packet::new());
+        let p1 = d.prob(&Action::assign(f, 1));
+        // The closed form gives exactly 1, unlike any finite unrolling.
+        assert!((p1.to_f64() - 1.0).abs() < 1e-9);
+        assert!(d.prob(&Action::Drop).to_f64() < 1e-9);
+    }
+
+    #[test]
+    fn nonterminating_loop_is_drop() {
+        let mgr = Manager::new();
+        let f = field("lp_f3");
+        // while f=0 do skip: diverges on f=0, identity otherwise.
+        let prog = Prog::while_(Pred::test(f, 0), Prog::skip());
+        let fdd = mgr.compile(&prog).unwrap();
+        assert!(mgr.eval(fdd, &Packet::new()).is_drop());
+        assert!(mgr.eval(fdd, &Packet::new().with(f, 1)).is_skip());
+    }
+
+    #[test]
+    fn counting_loop_terminates() {
+        let mgr = Manager::new();
+        let f = field("lp_f4");
+        // while ¬(f=3) do (f=0;f<-1 | f=1;f<-2 | f=2;f<-3) via conditionals
+        let body = Prog::case(
+            vec![
+                (Pred::test(f, 0), Prog::assign(f, 1)),
+                (Pred::test(f, 1), Prog::assign(f, 2)),
+                (Pred::test(f, 2), Prog::assign(f, 3)),
+            ],
+            Prog::drop(),
+        );
+        let prog = Prog::while_(Pred::test(f, 3).not(), body);
+        let fdd = mgr.compile(&prog).unwrap();
+        for start in 0..=3u32 {
+            let d = mgr.eval(fdd, &Packet::new().with(f, start));
+            let out = d.iter().next().unwrap().0.apply(&Packet::new().with(f, start));
+            assert_eq!(out, Some(Packet::new().with(f, 3)), "start {start}");
+            assert_eq!(d.mass(), Ratio::one());
+        }
+        // Any other value loops through drop (body drops it).
+        let d = mgr.eval(fdd, &Packet::new().with(f, 9));
+        assert!(d.is_drop());
+    }
+
+    #[test]
+    fn loop_output_respects_unmodified_fields() {
+        let mgr = Manager::new();
+        let f = field("lp_f5");
+        let g = field("lp_g5");
+        // while f=0 do f<-1 — field g must pass through untouched.
+        let prog = Prog::while_(Pred::test(f, 0), Prog::assign(f, 1));
+        let fdd = mgr.compile(&prog).unwrap();
+        let input = Packet::new().with(g, 42);
+        let d = mgr.eval(fdd, &input);
+        let outs: Vec<_> = d.iter().map(|(a, _)| a.apply(&input)).collect();
+        assert_eq!(outs, vec![Some(input.with(f, 1))]);
+    }
+
+    #[test]
+    fn two_phase_random_walk() {
+        let mgr = Manager::new();
+        let f = field("lp_f6");
+        // Random walk on {0,1,2}: from 1 go to 0 or 2 with prob ½ each;
+        // absorb at 0 and 2. Start at 1 → ½ / ½.
+        let body = Prog::ite(
+            Pred::test(f, 1),
+            Prog::choice2(Prog::assign(f, 0), Ratio::new(1, 2), Prog::assign(f, 2)),
+            Prog::drop(),
+        );
+        let guard = Pred::test(f, 1);
+        let prog = Prog::while_(guard, body);
+        let fdd = mgr.compile(&prog).unwrap();
+        let d = mgr.eval(fdd, &Packet::new().with(f, 1));
+        assert_eq!(d.prob(&Action::assign(f, 0)).to_f64(), 0.5);
+        assert_eq!(d.prob(&Action::assign(f, 2)).to_f64(), 0.5);
+    }
+}

@@ -1,0 +1,749 @@
+//! Hash-consed probabilistic FDDs and their core algorithms.
+//!
+//! A probabilistic FDD (§5.1) is a rooted DAG whose interior nodes test
+//! `field = value` and whose leaves hold distributions over [`Action`]s. It
+//! represents a function `Pk → D(Pk + ∅)` — equivalently a stochastic
+//! matrix over `Pk + ∅` — compactly, like a BDD represents a Boolean
+//! function.
+//!
+//! Ordering invariant (inherited from deterministic FDDs): interior tests
+//! are ordered by `(field, value)`; the true-branch of a `f = v` test never
+//! tests `f` again, and the false-branch only tests `f` against larger
+//! values. Together with hash-consing this makes structurally equal FDDs
+//! pointer-equal.
+
+use crate::{Action, ActionDist, Domain, SymPkt};
+use mcnetkat_core::{Field, Packet, Value};
+use mcnetkat_num::Ratio;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A handle to a hash-consed FDD node, valid within its [`Manager`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fdd(u32);
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum Node {
+    Leaf(ActionDist),
+    Branch {
+        field: Field,
+        value: Value,
+        hi: Fdd,
+        lo: Fdd,
+    },
+}
+
+#[derive(Default)]
+struct Inner {
+    nodes: Vec<Node>,
+    consed: HashMap<Node, Fdd>,
+    seq_cache: HashMap<(Fdd, Fdd), Fdd>,
+    sum_cache: HashMap<(Fdd, Fdd), Fdd>,
+    ite_cache: HashMap<(Fdd, Fdd, Fdd), Fdd>,
+    restrict_eq_cache: HashMap<(Fdd, Field, Value), Fdd>,
+    restrict_ne_cache: HashMap<(Fdd, Field, Value), Fdd>,
+    scale_cache: HashMap<(Fdd, Ratio), Fdd>,
+    prepend_cache: HashMap<(Fdd, Action), Fdd>,
+}
+
+/// An FDD store: owns the node table, the hash-cons map, and the operation
+/// caches.
+///
+/// Handles from different managers must not be mixed; use
+/// [`crate::FddExport`] to move diagrams between managers (that is how the
+/// parallel backend ships per-switch FDDs between workers).
+///
+/// # Examples
+///
+/// ```
+/// use mcnetkat_fdd::{ActionDist, Manager};
+/// let mgr = Manager::new();
+/// let t = mgr.leaf(ActionDist::skip());
+/// let d = mgr.leaf(ActionDist::drop());
+/// assert_ne!(t, d);
+/// assert_eq!(mgr.leaf(ActionDist::skip()), t); // hash-consed
+/// ```
+pub struct Manager {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Manager {
+    fn default() -> Self {
+        Manager::new()
+    }
+}
+
+fn var_of(node: &Node) -> Option<(Field, Value)> {
+    match node {
+        Node::Leaf(_) => None,
+        Node::Branch { field, value, .. } => Some((*field, *value)),
+    }
+}
+
+impl Manager {
+    /// Creates an empty manager.
+    pub fn new() -> Manager {
+        Manager {
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Number of distinct nodes allocated so far.
+    pub fn node_count(&self) -> usize {
+        self.inner.lock().nodes.len()
+    }
+
+    /// Creates (or reuses) a leaf node.
+    pub fn leaf(&self, dist: ActionDist) -> Fdd {
+        let mut inner = self.inner.lock();
+        inner.mk_leaf(dist)
+    }
+
+    /// The always-pass FDD (predicate "true").
+    pub fn pass(&self) -> Fdd {
+        self.leaf(ActionDist::skip())
+    }
+
+    /// The always-drop FDD (predicate "false").
+    pub fn fail(&self) -> Fdd {
+        self.leaf(ActionDist::drop())
+    }
+
+    /// Creates (or reuses) a branch testing `field = value`.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the ordering invariant would be violated.
+    pub fn branch(&self, field: Field, value: Value, hi: Fdd, lo: Fdd) -> Fdd {
+        let mut inner = self.inner.lock();
+        inner.mk_branch(field, value, hi, lo)
+    }
+
+    /// Sequential composition of two FDDs (matrix product `B⟦p;q⟧`).
+    pub fn seq(&self, p: Fdd, q: Fdd) -> Fdd {
+        let mut inner = self.inner.lock();
+        inner.seq(p, q)
+    }
+
+    /// Pointwise sum of two (sub-)distribution FDDs.
+    pub fn sum(&self, p: Fdd, q: Fdd) -> Fdd {
+        let mut inner = self.inner.lock();
+        inner.sum(p, q)
+    }
+
+    /// Scales all leaf probabilities by `r`.
+    pub fn scale(&self, p: Fdd, r: &Ratio) -> Fdd {
+        let mut inner = self.inner.lock();
+        inner.scale(p, r)
+    }
+
+    /// Conditional `if t then p else q` where `t` is a predicate FDD
+    /// (every leaf pass or drop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leaf of `t` is not deterministic pass/drop.
+    pub fn ite(&self, t: Fdd, p: Fdd, q: Fdd) -> Fdd {
+        let mut inner = self.inner.lock();
+        inner.ite(t, p, q)
+    }
+
+    /// Convex combination `Σ rᵢ · pᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights do not sum to 1.
+    pub fn convex(&self, branches: &[(Fdd, Ratio)]) -> Fdd {
+        let total: Ratio = branches.iter().map(|(_, r)| r.clone()).sum();
+        assert!(total == Ratio::one(), "convex weights sum to {total}");
+        let mut inner = self.inner.lock();
+        let mut acc = inner.mk_leaf(ActionDist::zero());
+        for (p, r) in branches {
+            let scaled = inner.scale(*p, r);
+            acc = inner.sum(acc, scaled);
+        }
+        acc
+    }
+
+    /// Partial evaluation under the assumption `f = v`.
+    pub fn restrict_eq(&self, p: Fdd, f: Field, v: Value) -> Fdd {
+        let mut inner = self.inner.lock();
+        inner.restrict_eq(p, f, v)
+    }
+
+    /// Partial evaluation under the assumption `f ≠ v`.
+    pub fn restrict_ne(&self, p: Fdd, f: Field, v: Value) -> Fdd {
+        let mut inner = self.inner.lock();
+        inner.restrict_ne(p, f, v)
+    }
+
+    /// Evaluates the FDD on a concrete packet.
+    pub fn eval(&self, p: Fdd, pk: &Packet) -> ActionDist {
+        let inner = self.inner.lock();
+        let mut cur = p;
+        loop {
+            match &inner.nodes[cur.0 as usize] {
+                Node::Leaf(d) => return d.clone(),
+                Node::Branch {
+                    field,
+                    value,
+                    hi,
+                    lo,
+                } => {
+                    cur = if pk.matches(*field, *value) { *hi } else { *lo };
+                }
+            }
+        }
+    }
+
+    /// Evaluates the FDD on a symbolic packet (wildcards fail all tests).
+    pub fn eval_sym(&self, p: Fdd, pk: &SymPkt) -> ActionDist {
+        let inner = self.inner.lock();
+        let mut cur = p;
+        loop {
+            match &inner.nodes[cur.0 as usize] {
+                Node::Leaf(d) => return d.clone(),
+                Node::Branch {
+                    field,
+                    value,
+                    hi,
+                    lo,
+                } => {
+                    cur = if pk.test(*field, *value) { *hi } else { *lo };
+                }
+            }
+        }
+    }
+
+    /// Collects the tested fields/values of the diagram into a [`Domain`].
+    pub fn domain(&self, p: Fdd) -> Domain {
+        let inner = self.inner.lock();
+        let mut dom = Domain::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![p];
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) {
+                continue;
+            }
+            if let Node::Branch {
+                field,
+                value,
+                hi,
+                lo,
+            } = &inner.nodes[x.0 as usize]
+            {
+                dom.add_test(*field, *value);
+                stack.push(*hi);
+                stack.push(*lo);
+            }
+        }
+        dom
+    }
+
+    /// Number of reachable nodes (a size metric for benchmarks).
+    pub fn reachable_size(&self, p: Fdd) -> usize {
+        let inner = self.inner.lock();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![p];
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) {
+                continue;
+            }
+            if let Node::Branch { hi, lo, .. } = &inner.nodes[x.0 as usize] {
+                stack.push(*hi);
+                stack.push(*lo);
+            }
+        }
+        seen.len()
+    }
+
+    /// Whether `p` is a predicate diagram: every leaf pass or drop.
+    pub fn is_predicate(&self, p: Fdd) -> bool {
+        let inner = self.inner.lock();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![p];
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) {
+                continue;
+            }
+            match &inner.nodes[x.0 as usize] {
+                Node::Leaf(d) => {
+                    if !d.is_skip() && !d.is_drop() {
+                        return false;
+                    }
+                }
+                Node::Branch { hi, lo, .. } => {
+                    stack.push(*hi);
+                    stack.push(*lo);
+                }
+            }
+        }
+        true
+    }
+
+    pub(crate) fn node(&self, p: Fdd) -> Node {
+        self.inner.lock().nodes[p.0 as usize].clone()
+    }
+}
+
+impl Inner {
+    fn cons(&mut self, node: Node) -> Fdd {
+        if let Some(&id) = self.consed.get(&node) {
+            return id;
+        }
+        let id = Fdd(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.consed.insert(node, id);
+        id
+    }
+
+    fn mk_leaf(&mut self, dist: ActionDist) -> Fdd {
+        self.cons(Node::Leaf(dist))
+    }
+
+    fn mk_branch(&mut self, field: Field, value: Value, hi: Fdd, lo: Fdd) -> Fdd {
+        if hi == lo {
+            return hi;
+        }
+        debug_assert!(
+            {
+                let ok_hi = match var_of(&self.nodes[hi.0 as usize]) {
+                    None => true,
+                    Some((f, _)) => f > field,
+                };
+                let ok_lo = match var_of(&self.nodes[lo.0 as usize]) {
+                    None => true,
+                    Some((f, v)) => (f, v) > (field, value),
+                };
+                ok_hi && ok_lo
+            },
+            "FDD ordering violated at ({field:?}, {value})"
+        );
+        self.cons(Node::Branch {
+            field,
+            value,
+            hi,
+            lo,
+        })
+    }
+
+    fn restrict_eq(&mut self, p: Fdd, f: Field, v: Value) -> Fdd {
+        let node = self.nodes[p.0 as usize].clone();
+        let (field, value, hi, lo) = match node {
+            Node::Leaf(_) => return p,
+            Node::Branch {
+                field,
+                value,
+                hi,
+                lo,
+            } => (field, value, hi, lo),
+        };
+        if field > f {
+            return p;
+        }
+        let key = (p, f, v);
+        if let Some(&hit) = self.restrict_eq_cache.get(&key) {
+            return hit;
+        }
+        let result = if field < f {
+            let nh = self.restrict_eq(hi, f, v);
+            let nl = self.restrict_eq(lo, f, v);
+            self.mk_branch(field, value, nh, nl)
+        } else if value == v {
+            hi // true-branch never tests `f` again
+        } else {
+            self.restrict_eq(lo, f, v)
+        };
+        self.restrict_eq_cache.insert(key, result);
+        result
+    }
+
+    fn restrict_ne(&mut self, p: Fdd, f: Field, v: Value) -> Fdd {
+        let node = self.nodes[p.0 as usize].clone();
+        let (field, value, hi, lo) = match node {
+            Node::Leaf(_) => return p,
+            Node::Branch {
+                field,
+                value,
+                hi,
+                lo,
+            } => (field, value, hi, lo),
+        };
+        if field > f || (field == f && value > v) {
+            return p;
+        }
+        let key = (p, f, v);
+        if let Some(&hit) = self.restrict_ne_cache.get(&key) {
+            return hit;
+        }
+        let result = if field < f {
+            let nh = self.restrict_ne(hi, f, v);
+            let nl = self.restrict_ne(lo, f, v);
+            self.mk_branch(field, value, nh, nl)
+        } else if value == v {
+            lo // the (f,v) test fails; lo never re-tests (f,v)
+        } else {
+            // field == f, value < v: keep the test, recurse on the lo side.
+            let nl = self.restrict_ne(lo, f, v);
+            self.mk_branch(field, value, hi, nl)
+        };
+        self.restrict_ne_cache.insert(key, result);
+        result
+    }
+
+    fn scale(&mut self, p: Fdd, r: &Ratio) -> Fdd {
+        if r.is_one() {
+            return p;
+        }
+        let key = (p, r.clone());
+        if let Some(&hit) = self.scale_cache.get(&key) {
+            return hit;
+        }
+        let node = self.nodes[p.0 as usize].clone();
+        let result = match node {
+            Node::Leaf(d) => self.mk_leaf(d.scale(r)),
+            Node::Branch {
+                field,
+                value,
+                hi,
+                lo,
+            } => {
+                let nh = self.scale(hi, r);
+                let nl = self.scale(lo, r);
+                self.mk_branch(field, value, nh, nl)
+            }
+        };
+        self.scale_cache.insert(key, result);
+        result
+    }
+
+    fn sum(&mut self, p: Fdd, q: Fdd) -> Fdd {
+        let key = if p <= q { (p, q) } else { (q, p) };
+        if let Some(&hit) = self.sum_cache.get(&key) {
+            return hit;
+        }
+        let np = self.nodes[p.0 as usize].clone();
+        let nq = self.nodes[q.0 as usize].clone();
+        let result = match (var_of(&np), var_of(&nq)) {
+            (None, None) => {
+                let (Node::Leaf(dp), Node::Leaf(dq)) = (&np, &nq) else {
+                    unreachable!()
+                };
+                self.mk_leaf(dp.sum(dq))
+            }
+            (vp, vq) => {
+                let (f, v) = match (vp, vq) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => unreachable!(),
+                };
+                let ph = self.restrict_eq(p, f, v);
+                let qh = self.restrict_eq(q, f, v);
+                let pl = self.restrict_ne(p, f, v);
+                let ql = self.restrict_ne(q, f, v);
+                let hi = self.sum(ph, qh);
+                let lo = self.sum(pl, ql);
+                self.mk_branch(f, v, hi, lo)
+            }
+        };
+        self.sum_cache.insert(key, result);
+        result
+    }
+
+    fn ite(&mut self, t: Fdd, p: Fdd, q: Fdd) -> Fdd {
+        let key = (t, p, q);
+        if let Some(&hit) = self.ite_cache.get(&key) {
+            return hit;
+        }
+        let nt = self.nodes[t.0 as usize].clone();
+        let result = match &nt {
+            Node::Leaf(d) if d.is_skip() => p,
+            Node::Leaf(d) if d.is_drop() => q,
+            Node::Leaf(d) => panic!("ite guard leaf is not deterministic: {d}"),
+            Node::Branch { .. } => {
+                let vt = var_of(&nt);
+                let vp = var_of(&self.nodes[p.0 as usize]);
+                let vq = var_of(&self.nodes[q.0 as usize]);
+                let (f, v) = [vt, vp, vq].into_iter().flatten().min().unwrap();
+                let th = self.restrict_eq(t, f, v);
+                let ph = self.restrict_eq(p, f, v);
+                let qh = self.restrict_eq(q, f, v);
+                let tl = self.restrict_ne(t, f, v);
+                let pl = self.restrict_ne(p, f, v);
+                let ql = self.restrict_ne(q, f, v);
+                let hi = self.ite(th, ph, qh);
+                let lo = self.ite(tl, pl, ql);
+                self.mk_branch(f, v, hi, lo)
+            }
+        };
+        self.ite_cache.insert(key, result);
+        result
+    }
+
+    /// Restricts `q` by the modifications of `mods` (partial evaluation),
+    /// then prepends the modifications to every resulting action.
+    fn action_then(&mut self, mods: &Action, q: Fdd) -> Fdd {
+        match mods {
+            Action::Drop => {
+                let d = ActionDist::drop();
+                self.mk_leaf(d)
+            }
+            Action::Mods(pairs) => {
+                let mut restricted = q;
+                for &(f, v) in pairs {
+                    restricted = self.restrict_eq(restricted, f, v);
+                }
+                self.prepend(mods.clone(), restricted)
+            }
+        }
+    }
+
+    fn prepend(&mut self, mods: Action, q: Fdd) -> Fdd {
+        if mods.is_skip() {
+            return q;
+        }
+        let key = (q, mods.clone());
+        if let Some(&hit) = self.prepend_cache.get(&key) {
+            return hit;
+        }
+        let node = self.nodes[q.0 as usize].clone();
+        let result = match node {
+            Node::Leaf(d) => {
+                let mapped = d.map_actions(|a| mods.then(a));
+                self.mk_leaf(mapped)
+            }
+            Node::Branch {
+                field,
+                value,
+                hi,
+                lo,
+            } => {
+                let nh = self.prepend(mods.clone(), hi);
+                let nl = self.prepend(mods.clone(), lo);
+                self.mk_branch(field, value, nh, nl)
+            }
+        };
+        self.prepend_cache.insert(key, result);
+        result
+    }
+
+    fn seq(&mut self, p: Fdd, q: Fdd) -> Fdd {
+        let key = (p, q);
+        if let Some(&hit) = self.seq_cache.get(&key) {
+            return hit;
+        }
+        let np = self.nodes[p.0 as usize].clone();
+        let result = match np {
+            Node::Leaf(d) => {
+                let mut acc = self.mk_leaf(ActionDist::zero());
+                for (action, r) in d.iter() {
+                    let cont = self.action_then(action, q);
+                    let scaled = self.scale(cont, r);
+                    acc = self.sum(acc, scaled);
+                }
+                acc
+            }
+            Node::Branch {
+                field,
+                value,
+                hi,
+                lo,
+            } => {
+                // Compose the children, then re-introduce the path test via
+                // `ite` so the constraint `field = value` (resp. `≠`) also
+                // resolves the residual tests `q` contributes — the leaf
+                // case only restricted `q` by the *modifications*, not by
+                // the path.
+                let nh = self.seq(hi, q);
+                let nl = self.seq(lo, q);
+                let pass = self.mk_leaf(ActionDist::skip());
+                let fail = self.mk_leaf(ActionDist::drop());
+                let test = self.mk_branch(field, value, pass, fail);
+                self.ite(test, nh, nl)
+            }
+        };
+        self.seq_cache.insert(key, result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields() -> (Field, Field) {
+        (Field::named("mgr_a"), Field::named("mgr_b"))
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let a = mgr.branch(f, 1, mgr.pass(), mgr.fail());
+        let b = mgr.branch(f, 1, mgr.pass(), mgr.fail());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equal_children_collapse() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let t = mgr.pass();
+        assert_eq!(mgr.branch(f, 1, t, t), t);
+    }
+
+    #[test]
+    fn eval_follows_branches() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let fdd = mgr.branch(f, 1, mgr.pass(), mgr.fail());
+        assert!(mgr.eval(fdd, &Packet::new().with(f, 1)).is_skip());
+        assert!(mgr.eval(fdd, &Packet::new().with(f, 2)).is_drop());
+        assert!(mgr.eval(fdd, &Packet::new()).is_drop());
+    }
+
+    #[test]
+    fn restrict_eq_resolves_tests() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let fdd = mgr.branch(f, 1, mgr.pass(), mgr.fail());
+        assert_eq!(mgr.restrict_eq(fdd, f, 1), mgr.pass());
+        assert_eq!(mgr.restrict_eq(fdd, f, 2), mgr.fail());
+    }
+
+    #[test]
+    fn restrict_ne_removes_single_test() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let inner = mgr.branch(f, 2, mgr.pass(), mgr.fail());
+        let fdd = mgr.branch(f, 1, mgr.fail(), inner);
+        // Knowing f ≠ 1 discards the first test.
+        assert_eq!(mgr.restrict_ne(fdd, f, 1), inner);
+        // Knowing f ≠ 2 rewrites the inner test.
+        let expect = mgr.branch(f, 1, mgr.fail(), mgr.fail());
+        assert_eq!(mgr.restrict_ne(fdd, f, 2), expect);
+    }
+
+    #[test]
+    fn seq_applies_mods_and_resolves_tests() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        // p = f<-1 ; q = (f=1 ? skip : drop). Sequencing resolves the test.
+        let p = mgr.leaf(ActionDist::dirac(Action::assign(f, 1)));
+        let q = mgr.branch(f, 1, mgr.pass(), mgr.fail());
+        let pq = mgr.seq(p, q);
+        let d = mgr.eval(pq, &Packet::new());
+        assert_eq!(d, ActionDist::dirac(Action::assign(f, 1)));
+    }
+
+    #[test]
+    fn seq_drop_absorbs() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let p = mgr.fail();
+        let q = mgr.leaf(ActionDist::dirac(Action::assign(f, 1)));
+        assert_eq!(mgr.seq(p, q), mgr.fail());
+        assert_eq!(mgr.seq(q, mgr.fail()), mgr.fail());
+    }
+
+    #[test]
+    fn convex_combination_mixes_leaves() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let p = mgr.leaf(ActionDist::dirac(Action::assign(f, 1)));
+        let q = mgr.leaf(ActionDist::dirac(Action::assign(f, 2)));
+        let mix = mgr.convex(&[(p, Ratio::new(1, 4)), (q, Ratio::new(3, 4))]);
+        let d = mgr.eval(mix, &Packet::new());
+        assert_eq!(d.prob(&Action::assign(f, 1)), Ratio::new(1, 4));
+        assert_eq!(d.prob(&Action::assign(f, 2)), Ratio::new(3, 4));
+    }
+
+    #[test]
+    fn ite_selects_branches() {
+        let mgr = Manager::new();
+        let (f, g) = fields();
+        let guard = mgr.branch(f, 1, mgr.pass(), mgr.fail());
+        let p = mgr.leaf(ActionDist::dirac(Action::assign(g, 10)));
+        let q = mgr.leaf(ActionDist::dirac(Action::assign(g, 20)));
+        let fdd = mgr.ite(guard, p, q);
+        let d1 = mgr.eval(fdd, &Packet::new().with(f, 1));
+        let d2 = mgr.eval(fdd, &Packet::new().with(f, 7));
+        assert_eq!(d1, ActionDist::dirac(Action::assign(g, 10)));
+        assert_eq!(d2, ActionDist::dirac(Action::assign(g, 20)));
+    }
+
+    #[test]
+    fn ordering_keeps_fields_sorted() {
+        let mgr = Manager::new();
+        let (f, g) = fields();
+        assert!(f < g);
+        let inner_g = mgr.branch(g, 1, mgr.pass(), mgr.fail());
+        let fdd = mgr.branch(f, 1, inner_g, mgr.fail());
+        // Evaluation respects both tests.
+        let pk = Packet::new().with(f, 1).with(g, 1);
+        assert!(mgr.eval(fdd, &pk).is_skip());
+        assert!(mgr.eval(fdd, &pk.with(g, 2)).is_drop());
+    }
+
+    #[test]
+    fn seq_resolves_tests_via_path_not_just_mods() {
+        // Regression: p tests f (without modifying it), q tests f again.
+        // The composed diagram must resolve q's test from the *path*.
+        let mgr = Manager::new();
+        let (f, g) = fields();
+        // p = if f=1 then g<-1 else g<-2 (no f mods)
+        let p_hi = mgr.leaf(ActionDist::dirac(Action::assign(g, 1)));
+        let p_lo = mgr.leaf(ActionDist::dirac(Action::assign(g, 2)));
+        let p = mgr.branch(f, 1, p_hi, p_lo);
+        // q = if f=1 then skip else drop
+        let q = mgr.branch(f, 1, mgr.pass(), mgr.fail());
+        let pq = mgr.seq(p, q);
+        // f=1 path survives with g<-1; f≠1 path is dropped by q.
+        let d1 = mgr.eval(pq, &Packet::new().with(f, 1));
+        assert_eq!(d1, ActionDist::dirac(Action::assign(g, 1)));
+        let d2 = mgr.eval(pq, &Packet::new().with(f, 2));
+        assert!(d2.is_drop());
+        // And mods still win over path knowledge: p' = f=1 ; f<-2, then q.
+        let assign_f2 = mgr.leaf(ActionDist::dirac(Action::assign(f, 2)));
+        let p2 = mgr.branch(f, 1, assign_f2, mgr.fail());
+        let p2q = mgr.seq(p2, q);
+        assert!(mgr.eval(p2q, &Packet::new().with(f, 1)).is_drop());
+    }
+
+    #[test]
+    fn domain_collects_tests() {
+        let mgr = Manager::new();
+        let (f, g) = fields();
+        let inner = mgr.branch(g, 5, mgr.pass(), mgr.fail());
+        let fdd = mgr.branch(f, 1, inner, mgr.fail());
+        let dom = mgr.domain(fdd);
+        assert_eq!(dom.tested[&f], vec![1]);
+        assert_eq!(dom.tested[&g], vec![5]);
+        assert_eq!(dom.class_count(), 4);
+    }
+
+    #[test]
+    fn sym_eval_wildcard_takes_false_branches() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let fdd = mgr.branch(f, 1, mgr.pass(), mgr.fail());
+        assert!(mgr.eval_sym(fdd, &SymPkt::star()).is_drop());
+        assert!(mgr
+            .eval_sym(fdd, &SymPkt::from_pairs([(f, 1)]))
+            .is_skip());
+    }
+
+    #[test]
+    fn is_predicate_detects_probabilistic_leaves() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let prob = mgr.convex(&[
+            (mgr.pass(), Ratio::new(1, 2)),
+            (mgr.fail(), Ratio::new(1, 2)),
+        ]);
+        assert!(mgr.is_predicate(mgr.pass()));
+        assert!(mgr.is_predicate(mgr.branch(f, 1, mgr.pass(), mgr.fail())));
+        assert!(!mgr.is_predicate(prob));
+    }
+}

@@ -1,0 +1,436 @@
+//! Absorbing Markov chain solver: the closed form of §4.
+//!
+//! Given an absorbing chain with transient states `T` and absorbing states
+//! `A`, reorder the transition matrix as
+//!
+//! ```text
+//!     [ I  0 ]
+//!     [ R  Q ]
+//! ```
+//!
+//! Then the absorption probabilities are `A = (I − Q)^{-1} R`
+//! (equation 2 / Theorem 4.7). This module computes `A` with a pluggable
+//! backend: the sparse LU (production), iterative Gauss–Seidel/Jacobi
+//! (large, very sparse chains), a dense float LU, or *exact* rational
+//! elimination (validation).
+
+use crate::{gauss_seidel, jacobi, DenseMatrix, IterativeOptions, LinalgError, SparseLu, Triplets};
+use mcnetkat_num::Ratio;
+
+/// Which linear-solver backend computes `(I − Q)^{-1} R`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Sparse left-looking LU (the UMFPACK-replacement production path).
+    #[default]
+    SparseLu,
+    /// Gauss–Seidel sweeps; good for huge, very sparse chains.
+    GaussSeidel,
+    /// Jacobi fixed-point iteration.
+    Jacobi,
+    /// Dense float LU; only sensible for small chains.
+    DenseLu,
+}
+
+/// An absorbing Markov chain under construction.
+///
+/// States are `0..n`. Mark absorbing states with [`set_absorbing`]
+/// (they implicitly self-loop with probability 1); add transitions out of
+/// transient states with [`add`]. Rows of transient states must sum to 1.
+///
+/// [`set_absorbing`]: AbsorbingChain::set_absorbing
+/// [`add`]: AbsorbingChain::add
+///
+/// # Examples
+///
+/// ```
+/// use mcnetkat_linalg::{AbsorbingChain, SolverBackend};
+/// use mcnetkat_num::Ratio;
+///
+/// // Gambler's ruin on {0,1,2} with fair coin: states 0 and 2 absorb.
+/// let mut chain = AbsorbingChain::new(3);
+/// chain.set_absorbing(0);
+/// chain.set_absorbing(2);
+/// chain.add(1, 0, Ratio::new(1, 2));
+/// chain.add(1, 2, Ratio::new(1, 2));
+/// let sol = chain.solve(SolverBackend::SparseLu).unwrap();
+/// assert!((sol.prob(1, 0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AbsorbingChain {
+    n: usize,
+    absorbing: Vec<bool>,
+    transitions: Vec<(usize, usize, Ratio)>,
+}
+
+/// Absorption probabilities of an [`AbsorbingChain`].
+#[derive(Clone, Debug)]
+pub struct AbsorptionResult {
+    n: usize,
+    /// Map original state → compact transient index (or MAX).
+    transient_ix: Vec<usize>,
+    /// Map original state → compact absorbing index (or MAX).
+    absorbing_ix: Vec<usize>,
+    /// Original ids of absorbing states, in compact order.
+    absorbing_states: Vec<usize>,
+    /// `probs[t][a]`: probability that transient `t` absorbs in `a`
+    /// (compact indices).
+    probs: Vec<Vec<f64>>,
+}
+
+impl AbsorbingChain {
+    /// Creates a chain with states `0..n` and no transitions.
+    pub fn new(n: usize) -> Self {
+        AbsorbingChain {
+            n,
+            absorbing: vec![false; n],
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the chain has no states.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Marks state `s` as absorbing.
+    pub fn set_absorbing(&mut self, s: usize) {
+        self.absorbing[s] = true;
+    }
+
+    /// Returns `true` if `s` was marked absorbing.
+    pub fn is_absorbing(&self, s: usize) -> bool {
+        self.absorbing[s]
+    }
+
+    /// Adds a transition `from → to` with exact probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` was marked absorbing or `p` is not a probability.
+    pub fn add(&mut self, from: usize, to: usize, p: Ratio) {
+        assert!(!self.absorbing[from], "transition out of absorbing state");
+        assert!(p.is_probability(), "invalid transition probability {p}");
+        if !p.is_zero() {
+            self.transitions.push((from, to, p));
+        }
+    }
+
+    /// Checks that every transient row sums to exactly 1.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut sums = vec![Ratio::zero(); self.n];
+        for (from, _, p) in &self.transitions {
+            sums[*from] += p;
+        }
+        for (s, sum) in sums.iter().enumerate() {
+            if !self.absorbing[s] && *sum != Ratio::one() {
+                return Err(format!("row {s} sums to {sum}, expected 1"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the absorption probabilities `A = (I − Q)^{-1} R` with the
+    /// chosen float backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures; a [`LinalgError::Singular`] typically
+    /// means some transient state cannot reach any absorbing state (the
+    /// chain is not actually absorbing).
+    pub fn solve(&self, backend: SolverBackend) -> Result<AbsorptionResult, LinalgError> {
+        let (transient_ix, absorbing_ix, transients, absorbing_states) = self.partition();
+        let nt = transients.len();
+        let na = absorbing_states.len();
+        let mut q = Triplets::new(nt, nt);
+        let mut r = vec![vec![0.0f64; na]; nt];
+        for (from, to, p) in &self.transitions {
+            let ti = transient_ix[*from];
+            let pf = p.to_f64();
+            if self.absorbing[*to] {
+                r[ti][absorbing_ix[*to]] += pf;
+            } else {
+                q.push(ti, transient_ix[*to], pf);
+            }
+        }
+        let qm = q.to_csr();
+        let probs = match backend {
+            SolverBackend::SparseLu => {
+                // Factor (I - Q) once; back-solve one column of R at a time.
+                let mut iq = Triplets::new(nt, nt);
+                for i in 0..nt {
+                    iq.push(i, i, 1.0);
+                }
+                for i in 0..nt {
+                    for (j, v) in qm.row(i) {
+                        iq.push(i, j, -v);
+                    }
+                }
+                let lu = SparseLu::factor(&iq.to_csr())?;
+                let mut cols = Vec::with_capacity(na);
+                for a in 0..na {
+                    let rhs: Vec<f64> = (0..nt).map(|t| r[t][a]).collect();
+                    cols.push(lu.solve(&rhs));
+                }
+                transpose(cols, nt)
+            }
+            SolverBackend::GaussSeidel | SolverBackend::Jacobi => {
+                let opts = IterativeOptions::default();
+                let mut cols = Vec::with_capacity(na);
+                for a in 0..na {
+                    let rhs: Vec<f64> = (0..nt).map(|t| r[t][a]).collect();
+                    let x = match backend {
+                        SolverBackend::GaussSeidel => gauss_seidel(&qm, &rhs, opts)?,
+                        _ => jacobi(&qm, &rhs, opts)?,
+                    };
+                    cols.push(x);
+                }
+                transpose(cols, nt)
+            }
+            SolverBackend::DenseLu => {
+                let mut iq = DenseMatrix::<f64>::identity(nt);
+                for i in 0..nt {
+                    for (j, v) in qm.row(i) {
+                        iq.set(i, j, iq.get(i, j) - v);
+                    }
+                }
+                let rhs = DenseMatrix::from_rows(r.clone());
+                let x = iq.solve_multi(&rhs)?;
+                (0..nt)
+                    .map(|i| (0..na).map(|j| *x.get(i, j)).collect())
+                    .collect()
+            }
+        };
+        Ok(AbsorptionResult {
+            n: self.n,
+            transient_ix,
+            absorbing_ix,
+            absorbing_states,
+            probs,
+        })
+    }
+
+    /// Computes the absorption probabilities exactly, over rationals, with
+    /// dense Gaussian elimination. Exponentially slower than [`solve`] but
+    /// bit-for-bit exact; used to validate the float pipeline.
+    ///
+    /// [`solve`]: AbsorbingChain::solve
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AbsorbingChain::solve`].
+    pub fn solve_exact(&self) -> Result<Vec<Vec<Ratio>>, LinalgError> {
+        let (transient_ix, absorbing_ix, transients, absorbing_states) = self.partition();
+        let nt = transients.len();
+        let na = absorbing_states.len();
+        let mut iq = DenseMatrix::<Ratio>::identity(nt);
+        let mut r = DenseMatrix::<Ratio>::zeros(nt, na);
+        for (from, to, p) in &self.transitions {
+            let ti = transient_ix[*from];
+            if self.absorbing[*to] {
+                let ai = absorbing_ix[*to];
+                r.set(ti, ai, r.get(ti, ai).clone() + p.clone());
+            } else {
+                let tj = transient_ix[*to];
+                iq.set(ti, tj, iq.get(ti, tj).clone() - p.clone());
+            }
+        }
+        let x = iq.solve_multi(&r)?;
+        Ok((0..nt)
+            .map(|i| (0..na).map(|j| x.get(i, j).clone()).collect())
+            .collect())
+    }
+
+    fn partition(&self) -> (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>) {
+        let mut transient_ix = vec![usize::MAX; self.n];
+        let mut absorbing_ix = vec![usize::MAX; self.n];
+        let mut transients = Vec::new();
+        let mut absorbing_states = Vec::new();
+        for s in 0..self.n {
+            if self.absorbing[s] {
+                absorbing_ix[s] = absorbing_states.len();
+                absorbing_states.push(s);
+            } else {
+                transient_ix[s] = transients.len();
+                transients.push(s);
+            }
+        }
+        (transient_ix, absorbing_ix, transients, absorbing_states)
+    }
+}
+
+fn transpose(cols: Vec<Vec<f64>>, nt: usize) -> Vec<Vec<f64>> {
+    let na = cols.len();
+    (0..nt)
+        .map(|t| (0..na).map(|a| cols[a][t]).collect())
+        .collect()
+}
+
+impl AbsorptionResult {
+    /// Probability that transient state `from` (original id) is absorbed in
+    /// absorbing state `to` (original id).
+    ///
+    /// For an absorbing `from`, returns 1 if `from == to` and 0 otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not absorbing or ids are out of range.
+    pub fn prob(&self, from: usize, to: usize) -> f64 {
+        assert!(from < self.n && to < self.n, "state out of range");
+        let a = self.absorbing_ix[to];
+        assert!(a != usize::MAX, "target state {to} is not absorbing");
+        if self.transient_ix[from] == usize::MAX {
+            return if from == to { 1.0 } else { 0.0 };
+        }
+        self.probs[self.transient_ix[from]][a]
+    }
+
+    /// The absorbing states (original ids) in column order.
+    pub fn absorbing_states(&self) -> &[usize] {
+        &self.absorbing_states
+    }
+
+    /// The full absorption row for `from` as `(absorbing_state, prob)`.
+    pub fn row(&self, from: usize) -> Vec<(usize, f64)> {
+        self.absorbing_states
+            .iter()
+            .map(|&a| (a, self.prob(from, a)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backends() -> [SolverBackend; 4] {
+        [
+            SolverBackend::SparseLu,
+            SolverBackend::GaussSeidel,
+            SolverBackend::Jacobi,
+            SolverBackend::DenseLu,
+        ]
+    }
+
+    #[test]
+    fn gamblers_ruin_all_backends() {
+        // States 0..=4; 0 and 4 absorb; fair coin. Classic result:
+        // P(absorb at 4 | start i) = i/4.
+        for backend in backends() {
+            let mut chain = AbsorbingChain::new(5);
+            chain.set_absorbing(0);
+            chain.set_absorbing(4);
+            for i in 1..4 {
+                chain.add(i, i - 1, Ratio::new(1, 2));
+                chain.add(i, i + 1, Ratio::new(1, 2));
+            }
+            chain.validate().unwrap();
+            let sol = chain.solve(backend).unwrap();
+            for i in 1..4 {
+                assert!(
+                    (sol.prob(i, 4) - i as f64 / 4.0).abs() < 1e-9,
+                    "{backend:?} start {i}"
+                );
+                assert!((sol.prob(i, 0) - (1.0 - i as f64 / 4.0)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_float() {
+        let mut chain = AbsorbingChain::new(4);
+        chain.set_absorbing(3);
+        chain.add(0, 1, Ratio::new(1, 3));
+        chain.add(0, 2, Ratio::new(2, 3));
+        chain.add(1, 3, Ratio::one());
+        chain.add(2, 0, Ratio::new(1, 2));
+        chain.add(2, 3, Ratio::new(1, 2));
+        let exact = chain.solve_exact().unwrap();
+        let float = chain.solve(SolverBackend::SparseLu).unwrap();
+        // Single absorbing state: everything absorbs there with prob 1.
+        for row in &exact {
+            assert_eq!(row[0], Ratio::one());
+        }
+        for t in 0..3 {
+            assert!((float.prob(t, 3) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn self_loops_in_transient_states() {
+        // State 0 self-loops with prob 1/2, exits to 1 with 1/2.
+        let mut chain = AbsorbingChain::new(2);
+        chain.set_absorbing(1);
+        chain.add(0, 0, Ratio::new(1, 2));
+        chain.add(0, 1, Ratio::new(1, 2));
+        for backend in backends() {
+            let sol = chain.solve(backend).unwrap();
+            assert!((sol.prob(0, 1) - 1.0).abs() < 1e-9, "{backend:?}");
+        }
+        assert_eq!(chain.solve_exact().unwrap()[0][0], Ratio::one());
+    }
+
+    #[test]
+    fn multiple_absorbing_states_partition_mass() {
+        // 0 → {1 w.p. 1/4, 2 w.p. 3/4}, both absorbing.
+        let mut chain = AbsorbingChain::new(3);
+        chain.set_absorbing(1);
+        chain.set_absorbing(2);
+        chain.add(0, 1, Ratio::new(1, 4));
+        chain.add(0, 2, Ratio::new(3, 4));
+        let sol = chain.solve(SolverBackend::SparseLu).unwrap();
+        assert!((sol.prob(0, 1) - 0.25).abs() < 1e-12);
+        assert!((sol.prob(0, 2) - 0.75).abs() < 1e-12);
+        let exact = chain.solve_exact().unwrap();
+        assert_eq!(exact[0], vec![Ratio::new(1, 4), Ratio::new(3, 4)]);
+    }
+
+    #[test]
+    fn absorbing_from_state_queries() {
+        let mut chain = AbsorbingChain::new(2);
+        chain.set_absorbing(0);
+        chain.set_absorbing(1);
+        let sol = chain.solve(SolverBackend::DenseLu).unwrap();
+        assert_eq!(sol.prob(0, 0), 1.0);
+        assert_eq!(sol.prob(0, 1), 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_leaky_rows() {
+        let mut chain = AbsorbingChain::new(2);
+        chain.set_absorbing(1);
+        chain.add(0, 1, Ratio::new(1, 2));
+        assert!(chain.validate().is_err());
+    }
+
+    #[test]
+    fn rows_sum_to_one_property() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..12);
+            let mut chain = AbsorbingChain::new(n);
+            chain.set_absorbing(n - 1);
+            for s in 0..n - 1 {
+                // Random distribution over targets, with guaranteed path to
+                // the absorbing state via weight on n-1.
+                let mut weights: Vec<u32> = (0..n).map(|_| rng.gen_range(0..5)).collect();
+                weights[n - 1] += 1;
+                let total: u32 = weights.iter().sum();
+                for (t, w) in weights.iter().enumerate() {
+                    chain.add(s, t, Ratio::new(*w as i64, total as i64));
+                }
+            }
+            chain.validate().unwrap();
+            let sol = chain.solve(SolverBackend::SparseLu).unwrap();
+            for s in 0..n - 1 {
+                let sum: f64 = sol.row(s).iter().map(|(_, p)| p).sum();
+                assert!((sum - 1.0).abs() < 1e-9, "row {s} sums to {sum}");
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Sparse LU factorisation (left-looking Gilbert–Peierls with partial
+//! pivoting).
+//!
+//! This is the workhorse that replaces UMFPACK in the loop solver: it
+//! factors the sparse system `(I − Q)` once and then back-solves for each
+//! right-hand-side column of `R`.
+
+use crate::{CsrMatrix, LinalgError};
+
+/// A sparse LU factorisation `PA = LU`.
+///
+/// `L` is unit lower triangular (stored with *original* row indices and a
+/// row permutation `pinv`), `U` is upper triangular in pivot order.
+///
+/// # Examples
+///
+/// ```
+/// use mcnetkat_linalg::{SparseLu, Triplets};
+/// let mut t = Triplets::new(2, 2);
+/// t.push(0, 0, 4.0);
+/// t.push(0, 1, 3.0);
+/// t.push(1, 0, 6.0);
+/// t.push(1, 1, 3.0);
+/// let lu = SparseLu::factor(&t.to_csr()).unwrap();
+/// let x = lu.solve(&[10.0, 12.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SparseLu {
+    n: usize,
+    /// Column `k` of `L` below the diagonal: `(original_row, value)`.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Column `k` of `U` above the diagonal: `(pivot_row, value)`.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U` (the pivots).
+    u_diag: Vec<f64>,
+    /// `pinv[original_row] = pivot position`.
+    pinv: Vec<usize>,
+    /// `perm[pivot position] = original_row`.
+    perm: Vec<usize>,
+}
+
+const UNPIVOTED: usize = usize::MAX;
+
+impl SparseLu {
+    /// Factors a square sparse matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for non-square input and
+    /// [`LinalgError::Singular`] when no usable pivot is found.
+    pub fn factor(a: &CsrMatrix) -> Result<SparseLu, LinalgError> {
+        if a.nrows() != a.ncols() {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = a.nrows();
+        let (col_ptr, row_ix, values) = a.to_csc();
+        let mut lu = SparseLu {
+            n,
+            l_cols: Vec::with_capacity(n),
+            u_cols: Vec::with_capacity(n),
+            u_diag: Vec::with_capacity(n),
+            pinv: vec![UNPIVOTED; n],
+            perm: Vec::with_capacity(n),
+        };
+        // Dense workspaces reused across columns.
+        let mut x = vec![0.0f64; n];
+        let mut marked = vec![false; n];
+        let mut pattern: Vec<usize> = Vec::with_capacity(n);
+        let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
+        // Topological order of the reachable set, computed by DFS.
+        let mut topo: Vec<usize> = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // --- Symbolic step: pattern of x = L \ A(:,k) --------------
+            topo.clear();
+            pattern.clear();
+            for &i in &row_ix[col_ptr[k]..col_ptr[k + 1]] {
+                if marked[i] {
+                    continue;
+                }
+                // Iterative DFS from i through pivoted columns of L.
+                dfs_stack.push((i, 0));
+                marked[i] = true;
+                while let Some(&(node, child)) = dfs_stack.last() {
+                    let col = lu.pinv[node];
+                    let next = if col == UNPIVOTED {
+                        None
+                    } else {
+                        lu.l_cols[col].get(child).map(|&(r, _)| r)
+                    };
+                    match next {
+                        Some(next_node) => {
+                            dfs_stack.last_mut().unwrap().1 += 1;
+                            if !marked[next_node] {
+                                marked[next_node] = true;
+                                dfs_stack.push((next_node, 0));
+                            }
+                        }
+                        None => {
+                            dfs_stack.pop();
+                            topo.push(node);
+                        }
+                    }
+                }
+            }
+            // DFS post-order gives reverse topological order.
+            topo.reverse();
+            pattern.extend_from_slice(&topo);
+
+            // --- Numeric step ------------------------------------------
+            for ix in col_ptr[k]..col_ptr[k + 1] {
+                x[row_ix[ix]] = values[ix];
+            }
+            for &i in &pattern {
+                let col = lu.pinv[i];
+                if col == UNPIVOTED {
+                    continue;
+                }
+                let xi = x[i];
+                if xi != 0.0 {
+                    for &(r, v) in &lu.l_cols[col] {
+                        x[r] -= v * xi;
+                    }
+                }
+            }
+
+            // --- Pivot selection (partial pivoting) --------------------
+            let mut pivot_row = UNPIVOTED;
+            let mut pivot_mag = 0.0f64;
+            for &i in &pattern {
+                if lu.pinv[i] == UNPIVOTED && x[i].abs() > pivot_mag {
+                    pivot_mag = x[i].abs();
+                    pivot_row = i;
+                }
+            }
+            if pivot_row == UNPIVOTED || pivot_mag < 1e-14 {
+                return Err(LinalgError::Singular(k));
+            }
+            let pivot = x[pivot_row];
+
+            // --- Harvest L and U columns -------------------------------
+            let mut ucol = Vec::new();
+            let mut lcol = Vec::new();
+            for &i in &pattern {
+                let v = x[i];
+                x[i] = 0.0;
+                marked[i] = false;
+                if v == 0.0 {
+                    continue;
+                }
+                match lu.pinv[i] {
+                    UNPIVOTED => {
+                        if i != pivot_row {
+                            lcol.push((i, v / pivot));
+                        }
+                    }
+                    up => ucol.push((up, v)),
+                }
+            }
+            if x[pivot_row] != 0.0 {
+                // pivot_row is always in `pattern`, cleared above; defensive.
+                x[pivot_row] = 0.0;
+            }
+            lu.pinv[pivot_row] = k;
+            lu.perm.push(pivot_row);
+            lu.u_diag.push(pivot);
+            lu.u_cols.push(ucol);
+            lu.l_cols.push(lcol);
+        }
+        Ok(lu)
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` using the stored factorisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs dimension mismatch");
+        // Forward solve L y = P b (y indexed in pivot space).
+        let mut y = vec![0.0f64; self.n];
+        for k in 0..self.n {
+            y[k] += b[self.perm[k]];
+            let yk = y[k];
+            if yk != 0.0 {
+                for &(orig_row, v) in &self.l_cols[k] {
+                    y[self.pinv[orig_row]] -= v * yk;
+                }
+            }
+        }
+        // Back solve U x' = y, then un-permute columns (U's columns are in
+        // original column order already; only rows were permuted).
+        let mut xp = y;
+        for k in (0..self.n).rev() {
+            let xk = xp[k] / self.u_diag[k];
+            xp[k] = xk;
+            if xk != 0.0 {
+                for &(row, v) in &self.u_cols[k] {
+                    xp[row] -= v * xk;
+                }
+            }
+        }
+        xp
+    }
+
+    /// Solves for many right-hand sides, returning one solution per input.
+    pub fn solve_many<'a, I>(&'a self, rhs: I) -> Vec<Vec<f64>>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        rhs.into_iter().map(|b| self.solve(b)).collect()
+    }
+
+    /// Fill-in statistic: stored non-zeros in `L + U`.
+    pub fn nnz(&self) -> usize {
+        self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
+            + self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplets;
+
+    fn csr_from(entries: &[(usize, usize, f64)], n: usize) -> CsrMatrix {
+        let mut t = Triplets::new(n, n);
+        for &(i, j, v) in entries {
+            t.push(i, j, v);
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn factors_identity() {
+        let a = csr_from(&[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)], 3);
+        let lu = SparseLu::factor(&a).unwrap();
+        assert_eq!(lu.solve(&[3.0, 4.0, 5.0]), vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn solves_dense_system() {
+        let a = csr_from(
+            &[
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+            ],
+            2,
+        );
+        let x = SparseLu::factor(&a).unwrap().solve(&[3.0, 5.0]);
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = csr_from(&[(0, 1, 1.0), (1, 0, 2.0)], 2);
+        let x = SparseLu::factor(&a).unwrap().solve(&[3.0, 4.0]);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_singularity() {
+        let a = csr_from(&[(0, 0, 1.0), (1, 0, 2.0)], 2);
+        assert!(matches!(
+            SparseLu::factor(&a),
+            Err(LinalgError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn random_systems_match_dense_solver() {
+        use crate::DenseMatrix;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let n = 2 + (trial % 8);
+            // Diagonally dominant ⇒ nonsingular.
+            let mut entries = Vec::new();
+            let mut dense_rows = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j || rng.gen_bool(0.4) {
+                        let v: f64 = if i == j {
+                            n as f64 + rng.gen_range(0.5..2.0)
+                        } else {
+                            rng.gen_range(-1.0..1.0)
+                        };
+                        entries.push((i, j, v));
+                        dense_rows[i][j] = v;
+                    }
+                }
+            }
+            let sparse = csr_from(&entries, n);
+            let dense = DenseMatrix::from_rows(dense_rows);
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let xs = SparseLu::factor(&sparse).unwrap().solve(&b);
+            let xd = dense.solve(&b).unwrap();
+            for (a, b) in xs.iter().zip(&xd) {
+                assert!((a - b).abs() < 1e-9, "trial {trial}: {xs:?} vs {xd:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_is_tiny_on_absorbing_style_system() {
+        // (I - Q) with Q substochastic, the shape the loop solver produces.
+        let n = 50;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 1.0 - 0.4 * ((i % 3) as f64) / 3.0 - 0.3);
+            if i + 1 < n {
+                t.push(i, i + 1, -0.3);
+            }
+        }
+        let a = t.to_csr();
+        let b = vec![1.0; n];
+        let x = SparseLu::factor(&a).unwrap().solve(&b);
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The scalar abstraction shared by dense elimination over floats and exact
+//! rationals.
+
+use mcnetkat_num::Ratio;
+
+/// A field of scalars suitable for Gaussian elimination.
+///
+/// Implemented by `f64` (the production path, mirroring the paper's use of
+/// 64-bit floats inside UMFPACK) and by [`Ratio`] (the exact path used to
+/// validate the float results in tests).
+pub trait Scalar: Clone + PartialEq + std::fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// `self + other`.
+    fn add(&self, other: &Self) -> Self;
+    /// `self - other`.
+    fn sub(&self, other: &Self) -> Self;
+    /// `self * other`.
+    fn mul(&self, other: &Self) -> Self;
+    /// `self / other`.
+    fn div(&self, other: &Self) -> Self;
+    /// Whether the value may be used as a pivot.
+    fn is_usable_pivot(&self) -> bool;
+    /// A magnitude used for partial pivoting (larger is better).
+    fn pivot_magnitude(&self) -> f64;
+    /// Whether the value is exactly zero.
+    fn is_zero(&self) -> bool;
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn is_usable_pivot(&self) -> bool {
+        self.abs() > 1e-12
+    }
+    fn pivot_magnitude(&self) -> f64 {
+        self.abs()
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+}
+
+impl Scalar for Ratio {
+    fn zero() -> Self {
+        Ratio::zero()
+    }
+    fn one() -> Self {
+        Ratio::one()
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn is_usable_pivot(&self) -> bool {
+        !Ratio::is_zero(self)
+    }
+    fn pivot_magnitude(&self) -> f64 {
+        // Exact arithmetic prefers *small* representations, but correctness
+        // only needs a non-zero pivot; use 1.0 for all non-zeros so the
+        // search picks the first usable pivot.
+        if Ratio::is_zero(self) {
+            0.0
+        } else {
+            1.0
+        }
+    }
+    fn is_zero(&self) -> bool {
+        Ratio::is_zero(self)
+    }
+}

@@ -1,0 +1,219 @@
+//! The Figure 9/10 benchmark: reliability of a simple routing scheme on
+//! the chain-of-diamonds topology, expressed as one ProbNetKAT program
+//! that all backends (native, PRISM-translation, exact-inference
+//! baseline) analyse.
+
+use crate::NetFields;
+use mcnetkat_core::{Packet, Pred, Prog};
+use mcnetkat_num::Ratio;
+use mcnetkat_topo::{chain, NodeId, ShortestPaths, Topology};
+
+/// A fully assembled chain benchmark instance.
+#[derive(Clone, Debug)]
+pub struct ChainBenchmark {
+    /// The topology (4k switches plus the two hosts).
+    pub topo: Topology,
+    /// Field handles.
+    pub fields: NetFields,
+    /// The complete model program.
+    pub program: Prog,
+    /// The ingress packet (at the first switch).
+    pub input: Packet,
+    /// Delivery predicate: the packet reached the last switch.
+    pub accept: Pred,
+    /// Destination switch.
+    pub dst: NodeId,
+}
+
+/// Builds the `k`-diamond chain benchmark with per-diamond failure
+/// probability `pfail` (the paper uses `pfail = 1/1000`).
+///
+/// Within each diamond, `S0` forwards with equal probability to `S1` and
+/// `S2`; `S2`'s link to `S3` fails with probability `pfail`, dropping the
+/// packet ("S2 drops the packet if the link to S3 fails").
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn chain_benchmark(k: usize, pfail: Ratio) -> ChainBenchmark {
+    let topo = chain(k);
+    let fields = NetFields::new(topo.max_degree());
+    let sw = fields.sw;
+    let pt = fields.pt;
+    let dst = topo.find(&format!("S{}", 4 * k - 1)).unwrap();
+    let sp = ShortestPaths::towards(&topo, dst);
+
+    // Per-switch forwarding: uniform over shortest-path ports; the fragile
+    // S2 → S3 hop is guarded by a freshly drawn `up` flag.
+    let mut branches = Vec::new();
+    let mut topo_branches = Vec::new();
+    for &s in topo.switches() {
+        let sv = topo.sw_value(s);
+        let name = topo.info(s).name.clone();
+        let is_lower = name
+            .strip_prefix('S')
+            .and_then(|ix| ix.parse::<usize>().ok())
+            .is_some_and(|ix| ix % 4 == 2);
+        let ports = sp.next_hop_ports_in(&topo, s);
+        // Exclude the host-facing egress port of the last switch.
+        let ports: Vec<u32> = ports
+            .into_iter()
+            .filter(|&p| {
+                topo.neighbor(s, p)
+                    .is_some_and(|(peer, _)| topo.info(peer).level != mcnetkat_topo::Level::Host)
+            })
+            .collect();
+        if s == dst {
+            branches.push((Pred::test(sw, sv), Prog::drop()));
+            continue;
+        }
+        let forward = if ports.is_empty() {
+            Prog::drop()
+        } else {
+            Prog::uniform(ports.iter().map(|&p| Prog::assign(pt, p)).collect())
+        };
+        let policy = if is_lower {
+            // Draw the fragile link's health; the topology tests it.
+            let port = ports[0];
+            let draw = Prog::choice2(
+                Prog::assign(fields.up(port), 0),
+                pfail.clone(),
+                Prog::assign(fields.up(port), 1),
+            );
+            draw.seq(forward)
+        } else {
+            forward
+        };
+        branches.push((Pred::test(sw, sv), policy));
+
+        // Topology edges out of this switch.
+        for pp in topo.ports(s) {
+            if topo.info(pp.peer).level == mcnetkat_topo::Level::Host {
+                continue;
+            }
+            let here = Pred::test(sw, sv).and(Pred::test(pt, pp.port));
+            let mv = Prog::assign(sw, topo.sw_value(pp.peer))
+                .seq(Prog::assign(pt, pp.peer_port));
+            let step = if is_lower && pp.port == ports[0] {
+                Prog::ite(Pred::test(fields.up(pp.port), 1), mv, Prog::drop())
+                    .seq(Prog::assign(fields.up(pp.port), 0))
+            } else {
+                mv
+            };
+            topo_branches.push((here, step));
+        }
+    }
+    let policy = Prog::case(branches, Prog::drop());
+    let topo_prog = Prog::case(topo_branches, Prog::drop());
+
+    let first = topo.find("S0").unwrap();
+    let ingress = Pred::test(sw, topo.sw_value(first)).and(Pred::test(pt, 0));
+    let guard = Pred::test(sw, topo.sw_value(dst)).not();
+    let body = policy.seq(topo_prog);
+    let mut program = Prog::filter(ingress)
+        .seq(Prog::do_while(body, guard))
+        .seq(Prog::assign(pt, 0));
+    for i in (1..=topo.max_degree() as u32).rev() {
+        program = Prog::local(fields.up(i), 1, program);
+    }
+
+    let input = Packet::new().with(sw, topo.sw_value(first));
+    let accept = Pred::test(sw, topo.sw_value(dst));
+    ChainBenchmark {
+        topo,
+        fields,
+        program,
+        input,
+        accept,
+        dst,
+    }
+}
+
+/// The exact closed-form answer: each diamond delivers with probability
+/// `1 - pfail/2`, independently.
+pub fn chain_expected_delivery(k: usize, pfail: &Ratio) -> Ratio {
+    let per_diamond = Ratio::one() - &(pfail / &Ratio::from_integer(2));
+    per_diamond.pow(k as u32)
+}
+
+/// Convenience: an equivalent [`NetworkModel`]-free delivery query via the
+/// native backend.
+///
+/// # Errors
+///
+/// Propagates compile errors from the FDD backend.
+pub fn chain_delivery_native(
+    bench: &ChainBenchmark,
+    mgr: &mcnetkat_fdd::Manager,
+) -> Result<Ratio, mcnetkat_fdd::CompileError> {
+    let fdd = mgr.compile(&bench.program)?;
+    Ok(mgr.prob_matching(fdd, &bench.input, &bench.accept))
+}
+
+// Re-exported for the docs: the chain benchmark complements the
+// fabric-level `NetworkModel`s used for FatTrees.
+impl ChainBenchmark {
+    /// Whether this instance's program stays in the guarded fragment.
+    pub fn is_guarded(&self) -> bool {
+        self.program.is_guarded()
+    }
+
+    /// A fabric-style model over the same topology is *not* provided: the
+    /// chain uses its own bespoke routing per Figure 9.
+    pub fn diamonds(&self) -> usize {
+        self.topo.switches().len() / 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnetkat_fdd::Manager;
+
+    #[test]
+    fn single_diamond_delivery_probability() {
+        let pfail = Ratio::new(1, 10);
+        let bench = chain_benchmark(1, pfail.clone());
+        let mgr = Manager::new();
+        let p = chain_delivery_native(&bench, &mgr).unwrap();
+        // Upper path always works (prob ½); lower works w.p. 1 - pfail.
+        assert_eq!(p, chain_expected_delivery(1, &pfail));
+        assert_eq!(p, Ratio::new(19, 20));
+    }
+
+    #[test]
+    fn deliveries_compose_across_diamonds() {
+        let pfail = Ratio::new(1, 4);
+        let mgr = Manager::new();
+        for k in 1..=3 {
+            let bench = chain_benchmark(k, pfail.clone());
+            let p = chain_delivery_native(&bench, &mgr).unwrap();
+            assert_eq!(p, chain_expected_delivery(k, &pfail), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_prism_backend() {
+        let pfail = Ratio::new(1, 8);
+        let bench = chain_benchmark(2, pfail.clone());
+        let auto = mcnetkat_prism::translate(&bench.program).unwrap();
+        let r = mcnetkat_prism::check_reachability(
+            &auto,
+            &bench.input,
+            &bench.accept,
+            mcnetkat_prism::McMode::Exact,
+        )
+        .unwrap();
+        assert_eq!(r.exact, Some(chain_expected_delivery(2, &pfail)));
+    }
+
+    #[test]
+    fn agrees_with_baseline() {
+        let pfail = Ratio::new(1, 8);
+        let bench = chain_benchmark(2, pfail.clone());
+        let r = mcnetkat_baseline::ExactInference::new(64)
+            .query(&bench.program, &bench.input, &bench.accept);
+        assert!(r.is_exact());
+        assert_eq!(r.probability, chain_expected_delivery(2, &pfail));
+    }
+}

@@ -1,0 +1,228 @@
+//! The running example of §2: a three-switch triangle with a naive and a
+//! fault-tolerant forwarding scheme under failure models `f0`, `f1`, `f2`.
+//!
+//! This module transcribes the paper's programs literally, so tests can
+//! check the numbers the paper quotes (80% vs 96% delivery under `f2`,
+//! 1-resilience of the fault-tolerant scheme under `f1`, …).
+
+use crate::NetFields;
+use mcnetkat_core::{Pred, Prog};
+use mcnetkat_num::Ratio;
+
+/// All the programs of the §2 running example.
+#[derive(Clone, Debug)]
+pub struct RunningExample {
+    /// Field handles (`up2` and `up3` are the two fragile links of
+    /// switch 1).
+    pub fields: NetFields,
+    /// `in ≜ sw=1 ; pt=1`.
+    pub ingress: Pred,
+    /// `out ≜ sw=2 ; pt=2`.
+    pub egress: Pred,
+    /// The naive forwarding policy `p`.
+    pub naive: Prog,
+    /// The fault-tolerant policy `p̂`.
+    pub resilient: Prog,
+    /// The failure-aware topology `t̂`.
+    pub topology: Prog,
+    /// `f0`: no failures.
+    pub f0: Prog,
+    /// `f1`: at most one of the two links fails, each with probability ¼.
+    pub f1: Prog,
+    /// `f2`: both links fail independently with probability ⅕.
+    pub f2: Prog,
+}
+
+/// Builds the §2 example.
+pub fn running_example() -> RunningExample {
+    let fields = NetFields::new(3);
+    let sw = fields.sw;
+    let pt = fields.pt;
+    let up2 = fields.up(2);
+    let up3 = fields.up(3);
+
+    let ingress = Pred::test(sw, 1).and(Pred::test(pt, 1));
+    let egress = Pred::test(sw, 2).and(Pred::test(pt, 2));
+
+    // p ≜ if sw=1 then pt<-2 else if sw=2 then pt<-2 else drop
+    let naive = Prog::ite(
+        Pred::test(sw, 1),
+        Prog::assign(pt, 2),
+        Prog::ite(Pred::test(sw, 2), Prog::assign(pt, 2), Prog::drop()),
+    );
+
+    // p̂₁ ≜ if up2=1 then pt<-2 else pt<-3 ; p̂₂ = p̂₃ = pt<-2
+    let p1 = Prog::ite(
+        Pred::test(up2, 1),
+        Prog::assign(pt, 2),
+        Prog::assign(pt, 3),
+    );
+    let resilient = Prog::ite(
+        Pred::test(sw, 1),
+        p1,
+        Prog::ite(
+            Pred::test(sw, 2).or(Pred::test(sw, 3)),
+            Prog::assign(pt, 2),
+            Prog::drop(),
+        ),
+    );
+
+    // t̂: links 1:2 → 2:1 (guarded by up2), 1:3 → 3:1 (guarded by up3),
+    // and 3:2 → 2:3.
+    let topology = Prog::case(
+        vec![
+            (
+                Pred::test(sw, 1).and(Pred::test(pt, 2)).and(Pred::test(up2, 1)),
+                Prog::assign(sw, 2).seq(Prog::assign(pt, 1)),
+            ),
+            (
+                Pred::test(sw, 1).and(Pred::test(pt, 3)).and(Pred::test(up3, 1)),
+                Prog::assign(sw, 3).seq(Prog::assign(pt, 1)),
+            ),
+            (
+                Pred::test(sw, 3).and(Pred::test(pt, 2)),
+                Prog::assign(sw, 2).seq(Prog::assign(pt, 3)),
+            ),
+        ],
+        Prog::drop(),
+    );
+
+    // f0 ≜ up2<-1 ; up3<-1
+    let f0 = Prog::assign(up2, 1).seq(Prog::assign(up3, 1));
+
+    // f1 ≜ ⊕ { f0 @ ½ , (up2<-0 ; up3<-1) @ ¼ , (up2<-1 ; up3<-0) @ ¼ }
+    let f1 = Prog::choice(vec![
+        (f0.clone(), Ratio::new(1, 2)),
+        (
+            Prog::assign(up2, 0).seq(Prog::assign(up3, 1)),
+            Ratio::new(1, 4),
+        ),
+        (
+            Prog::assign(up2, 1).seq(Prog::assign(up3, 0)),
+            Ratio::new(1, 4),
+        ),
+    ]);
+
+    // f2 ≜ (up2<-1 ⊕.8 up2<-0) ; (up3<-1 ⊕.8 up3<-0)
+    let f2 = Prog::choice2(Prog::assign(up2, 1), Ratio::new(4, 5), Prog::assign(up2, 0)).seq(
+        Prog::choice2(Prog::assign(up3, 1), Ratio::new(4, 5), Prog::assign(up3, 0)),
+    );
+
+    RunningExample {
+        fields,
+        ingress,
+        egress,
+        naive,
+        resilient,
+        topology,
+        f0,
+        f1,
+        f2,
+    }
+}
+
+impl RunningExample {
+    /// `M̂(p, t̂, f) ≜ var up2<-1 in var up3<-1 in M((f;p), t̂)` where
+    /// `M(p, t) ≜ in ; p ; while ¬out do (t ; p)`.
+    pub fn model(&self, policy: &Prog, failure: &Prog) -> Prog {
+        let fp = failure.clone().seq(policy.clone());
+        let loop_body = self.topology.clone().seq(fp.clone());
+        let m = Prog::filter(self.ingress.clone())
+            .seq(fp)
+            .seq(Prog::while_(self.egress.clone().not(), loop_body));
+        Prog::local(
+            self.fields.up(2),
+            1,
+            Prog::local(self.fields.up(3), 1, m),
+        )
+    }
+
+    /// The specification `in ; sw<-2 ; pt<-2`, wrapped in the same local
+    /// declarations as the models.
+    pub fn teleport(&self) -> Prog {
+        let inner = Prog::filter(self.ingress.clone())
+            .seq(Prog::assign(self.fields.sw, 2))
+            .seq(Prog::assign(self.fields.pt, 2));
+        Prog::local(
+            self.fields.up(2),
+            1,
+            Prog::local(self.fields.up(3), 1, inner),
+        )
+    }
+
+    /// The ingress packet `{sw=1, pt=1}`.
+    pub fn ingress_packet(&self) -> mcnetkat_core::Packet {
+        mcnetkat_core::Packet::new()
+            .with(self.fields.sw, 1)
+            .with(self.fields.pt, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnetkat_fdd::Manager;
+
+    #[test]
+    fn naive_scheme_correct_without_failures() {
+        let ex = running_example();
+        let mgr = Manager::new();
+        let model = mgr.compile(&ex.model(&ex.naive, &ex.f0)).unwrap();
+        let tele = mgr.compile(&ex.teleport()).unwrap();
+        assert!(mgr.equiv(model, tele));
+    }
+
+    #[test]
+    fn resilient_scheme_is_one_resilient() {
+        let ex = running_example();
+        let mgr = Manager::new();
+        // M̂(p̂, t̂, f1) ≡ teleport, but M̂(p, t̂, f1) ̸≡ teleport.
+        let good = mgr.compile(&ex.model(&ex.resilient, &ex.f1)).unwrap();
+        let bad = mgr.compile(&ex.model(&ex.naive, &ex.f1)).unwrap();
+        let tele = mgr.compile(&ex.teleport()).unwrap();
+        assert!(mgr.equiv(good, tele));
+        assert!(!mgr.equiv(bad, tele));
+    }
+
+    #[test]
+    fn resilient_also_handles_f0() {
+        let ex = running_example();
+        let mgr = Manager::new();
+        let model = mgr.compile(&ex.model(&ex.resilient, &ex.f0)).unwrap();
+        let tele = mgr.compile(&ex.teleport()).unwrap();
+        assert!(mgr.equiv(model, tele));
+    }
+
+    #[test]
+    fn delivery_probabilities_match_the_paper() {
+        // "80% for the naive scheme and 96% for the resilient scheme."
+        let ex = running_example();
+        let mgr = Manager::new();
+        let naive = mgr.compile(&ex.model(&ex.naive, &ex.f2)).unwrap();
+        let resil = mgr.compile(&ex.model(&ex.resilient, &ex.f2)).unwrap();
+        let pk = ex.ingress_packet();
+        assert_eq!(mgr.prob_delivery(naive, &pk), Ratio::new(4, 5));
+        assert_eq!(mgr.prob_delivery(resil, &pk), Ratio::new(24, 25));
+    }
+
+    #[test]
+    fn refinement_chain_under_f2() {
+        // M̂(p, t̂, f2) < M̂(p̂, t̂, f2) — the resilient scheme refines the
+        // naive one.
+        let ex = running_example();
+        let mgr = Manager::new();
+        let naive = mgr.compile(&ex.model(&ex.naive, &ex.f2)).unwrap();
+        let resil = mgr.compile(&ex.model(&ex.resilient, &ex.f2)).unwrap();
+        assert!(mgr.less(naive, resil));
+    }
+
+    #[test]
+    fn resilient_under_f2_not_fully_resilient() {
+        let ex = running_example();
+        let mgr = Manager::new();
+        let resil = mgr.compile(&ex.model(&ex.resilient, &ex.f2)).unwrap();
+        let tele = mgr.compile(&ex.teleport()).unwrap();
+        assert!(!mgr.equiv(resil, tele));
+        assert!(mgr.less(resil, tele));
+    }
+}

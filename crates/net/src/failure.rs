@@ -1,0 +1,178 @@
+//! Failure models `f_k` (§2, §7): links fail independently with
+//! probability `pr`, optionally bounded to at most `k` simultaneous
+//! failures.
+//!
+//! The bounded variant is encoded with a failure-budget counter field
+//! `fl`: a link can only be drawn "down" while fewer than `k` failures
+//! have occurred, so every randomness resolution exhibits at most `k`
+//! failures — exactly the support condition the `k`-resilience table
+//! (Figure 11b) quantifies over.
+
+use crate::NetFields;
+use mcnetkat_core::{Pred, Prog};
+use mcnetkat_num::Ratio;
+
+/// A failure model for the links of one switch-hop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureModel {
+    /// Per-link failure probability.
+    pub pr: Ratio,
+    /// Maximum number of failures (`None` = unbounded, the paper's `f_∞`).
+    pub k: Option<u32>,
+}
+
+impl FailureModel {
+    /// The failure-free model `f_0` (every link up).
+    pub fn none() -> FailureModel {
+        FailureModel {
+            pr: Ratio::zero(),
+            k: Some(0),
+        }
+    }
+
+    /// Links fail independently with probability `pr`, no bound (`f_∞`).
+    pub fn independent(pr: Ratio) -> FailureModel {
+        FailureModel { pr, k: None }
+    }
+
+    /// At most `k` failures, each drawn with probability `pr` (`f_k`).
+    pub fn bounded(pr: Ratio, k: u32) -> FailureModel {
+        FailureModel { pr, k: Some(k) }
+    }
+
+    /// Returns `true` if no link can ever fail.
+    pub fn is_failure_free(&self) -> bool {
+        self.pr.is_zero() || self.k == Some(0)
+    }
+
+    /// The program that draws fresh health flags for the given
+    /// (failure-prone) ports of the current switch — the `f` that runs at
+    /// the start of every hop in `M̂(p, t, f) = M((f;p), t)`.
+    pub fn hop_program(&self, fields: &NetFields, ports: &[u32]) -> Prog {
+        let mut steps = Vec::with_capacity(ports.len());
+        for &port in ports {
+            let up = fields.up(port);
+            if self.is_failure_free() {
+                steps.push(Prog::assign(up, 1));
+                continue;
+            }
+            let fail_then_count = match self.k {
+                None => Prog::assign(up, 0),
+                Some(k) => Prog::assign(up, 0).seq(bump_counter(fields, k)),
+            };
+            let draw = Prog::choice2(
+                fail_then_count,
+                self.pr.clone(),
+                Prog::assign(up, 1),
+            );
+            let guarded = match self.k {
+                // Budget exhausted ⇒ the link is up.
+                Some(k) => Prog::ite(
+                    Pred::test(fields.fl, k),
+                    Prog::assign(up, 1),
+                    draw,
+                ),
+                None => draw,
+            };
+            steps.push(guarded);
+        }
+        Prog::seq_all(steps)
+    }
+
+    /// Erases the health flags drawn by [`FailureModel::hop_program`], so
+    /// loop states do not carry stale link state (flags are re-drawn each
+    /// hop anyway — failures are memoryless in this model).
+    pub fn erase_program(fields: &NetFields, ports: &[u32]) -> Prog {
+        Prog::seq_all(ports.iter().map(|&p| Prog::assign(fields.up(p), 0)))
+    }
+}
+
+/// `fl <- fl + 1`, capped at `k`, via a conditional cascade (ProbNetKAT has
+/// only constant assignments).
+fn bump_counter(fields: &NetFields, k: u32) -> Prog {
+    let mut prog = Prog::skip();
+    for v in (0..k).rev() {
+        prog = Prog::ite(
+            Pred::test(fields.fl, v),
+            Prog::assign(fields.fl, v + 1),
+            prog,
+        );
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnetkat_core::{Interp, Packet};
+
+    fn fields() -> NetFields {
+        NetFields::new(4)
+    }
+
+    #[test]
+    fn failure_free_sets_all_up() {
+        let f = fields();
+        let prog = FailureModel::none().hop_program(&f, &[1, 2]);
+        let d = Interp::new().eval_packet(&prog, &Packet::new());
+        let expect = Packet::new().with(f.up(1), 1).with(f.up(2), 1);
+        assert_eq!(d.prob(&expect), Ratio::one());
+    }
+
+    #[test]
+    fn independent_failures_multiply() {
+        let f = fields();
+        let model = FailureModel::independent(Ratio::new(1, 5));
+        let prog = model.hop_program(&f, &[1, 2]);
+        let d = Interp::new().eval_packet(&prog, &Packet::new());
+        // Both up: (4/5)^2.
+        let both_up = Packet::new().with(f.up(1), 1).with(f.up(2), 1);
+        assert_eq!(d.prob(&both_up), Ratio::new(16, 25));
+        // Both down: (1/5)^2. Down flags are 0 = absent, so the outcome is
+        // the empty packet (no fl counter with k=∞).
+        let both_down = Packet::new();
+        assert_eq!(d.prob(&both_down), Ratio::new(1, 25));
+        // Exactly one down: 1/5 · 4/5 each way.
+        let one_down = Packet::new().with(f.up(2), 1);
+        assert_eq!(d.prob(&one_down), Ratio::new(4, 25));
+    }
+
+    #[test]
+    fn bounded_model_caps_failures() {
+        let f = fields();
+        let model = FailureModel::bounded(Ratio::new(1, 2), 1);
+        let prog = model.hop_program(&f, &[1, 2]);
+        let d = Interp::new().eval_packet(&prog, &Packet::new());
+        // With k=1, the outcome "both links down" is impossible.
+        let mut none_up = Packet::new().with(f.fl, 2);
+        none_up.set(f.up(1), 0);
+        assert_eq!(d.prob(&none_up), Ratio::zero());
+        // One failure: up1 down (fl=1), up2 forced up: 1/2.
+        let one = Packet::new().with(f.fl, 1).with(f.up(2), 1);
+        assert_eq!(d.prob(&one), Ratio::new(1, 2));
+        // No failure: 1/2 * 1/2.
+        let zero = Packet::new().with(f.up(1), 1).with(f.up(2), 1);
+        assert_eq!(d.prob(&zero), Ratio::new(1, 4));
+        assert_eq!(d.mass(), Ratio::one());
+    }
+
+    #[test]
+    fn exhausted_budget_forces_up() {
+        let f = fields();
+        let model = FailureModel::bounded(Ratio::new(1, 2), 1);
+        let prog = model.hop_program(&f, &[1]);
+        // Start with fl already at the bound.
+        let start = Packet::new().with(f.fl, 1);
+        let d = Interp::new().eval_packet(&prog, &start);
+        assert_eq!(d.prob(&start.with(f.up(1), 1)), Ratio::one());
+    }
+
+    #[test]
+    fn erase_resets_flags() {
+        let f = fields();
+        let prog = FailureModel::erase_program(&f, &[1, 2]);
+        let start = Packet::new().with(f.up(1), 1).with(f.up(2), 1);
+        let d = Interp::new().eval_packet(&prog, &start);
+        assert_eq!(d.prob(&Packet::new()), Ratio::one());
+    }
+}

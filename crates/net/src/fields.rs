@@ -1,0 +1,79 @@
+//! The canonical packet fields used by network models.
+//!
+//! Field interning order fixes the FDD variable order, which matters for
+//! diagram size: `sw` is tested at the root of every per-switch `case`, so
+//! it comes first, followed by `pt`, the detour flag, the failure budget,
+//! the hop counter, and finally the per-port link-health flags.
+
+use mcnetkat_core::Field;
+
+/// The field handles shared by all model-building code.
+#[derive(Clone, Debug)]
+pub struct NetFields {
+    /// Current switch (1-based; 0 = unset).
+    pub sw: Field,
+    /// Current port on the switch.
+    pub pt: Field,
+    /// F10₃,₅ detour flag.
+    pub dt: Field,
+    /// Remaining-failure budget counter for bounded failure models `f_k`.
+    pub fl: Field,
+    /// Hop counter for path-stretch queries (Figure 12 b/c).
+    pub cnt: Field,
+    /// `up_i` link-health flags, indexed by port number (1-based).
+    ups: Vec<Field>,
+}
+
+impl NetFields {
+    /// Interns the canonical fields for a topology with maximum degree
+    /// `max_ports`.
+    pub fn new(max_ports: usize) -> NetFields {
+        NetFields {
+            sw: Field::named("sw"),
+            pt: Field::named("pt"),
+            dt: Field::named("dt"),
+            fl: Field::named("fl"),
+            cnt: Field::named("cnt"),
+            ups: (1..=max_ports)
+                .map(|i| Field::named(&format!("up{i}")))
+                .collect(),
+        }
+    }
+
+    /// The `up_i` flag for port `i` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is 0 or exceeds the maximum degree.
+    pub fn up(&self, i: u32) -> Field {
+        self.ups[(i as usize)
+            .checked_sub(1)
+            .expect("ports are 1-based")]
+    }
+
+    /// All `up` fields, in port order.
+    pub fn ups(&self) -> &[Field] {
+        &self.ups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn up_fields_are_one_based() {
+        let f = NetFields::new(3);
+        assert_eq!(f.up(1).name(), "up1");
+        assert_eq!(f.up(3).name(), "up3");
+        assert_eq!(f.ups().len(), 3);
+    }
+
+    #[test]
+    fn interning_is_shared() {
+        let a = NetFields::new(2);
+        let b = NetFields::new(2);
+        assert_eq!(a.sw, b.sw);
+        assert_eq!(a.up(2), b.up(2));
+    }
+}

@@ -1,0 +1,22 @@
+//! Network models for McNetKAT: the `M(p, t)` / `M̂(p, t, f)` constructions
+//! of §2 and §7, routing schemes (ECMP/F10₀, F10₃, F10₃,₅), failure models
+//! `f_k`, the teleport specification, verification queries, and the
+//! parallel per-switch compilation backend.
+
+mod chain;
+mod example;
+mod failure;
+mod fields;
+mod model;
+mod parallel;
+mod queries;
+mod scheme;
+
+pub use chain::{chain_benchmark, chain_delivery_native, chain_expected_delivery, ChainBenchmark};
+pub use example::{running_example, RunningExample};
+pub use failure::FailureModel;
+pub use fields::NetFields;
+pub use model::{teleport, NetworkModel};
+pub use parallel::compile_model_parallel;
+pub use queries::{HopStats, Queries};
+pub use scheme::RoutingScheme;

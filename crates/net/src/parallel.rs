@@ -1,0 +1,176 @@
+//! The parallelising backend of §6 ("Parallel speedup"): per-switch
+//! policies are compiled on worker threads — each with a private FDD
+//! manager, mirroring the paper's per-process workers — and merged
+//! map-reduce style into the main manager.
+
+use crate::NetworkModel;
+use mcnetkat_core::Prog;
+use mcnetkat_fdd::{CompileError, CompileOptions, Fdd, FddExport, Manager};
+use mcnetkat_topo::ShortestPaths;
+
+/// Compiles `model` using `workers` threads for the per-switch policies.
+///
+/// Returns the diagram in `mgr`. With `workers == 1` this degenerates to a
+/// sequential compile through the same code path (useful as the baseline
+/// for speedup measurements).
+///
+/// # Errors
+///
+/// Propagates the first [`CompileError`] raised by any worker.
+pub fn compile_model_parallel(
+    mgr: &Manager,
+    model: &NetworkModel,
+    workers: usize,
+    opts: &CompileOptions,
+) -> Result<Fdd, CompileError> {
+    let workers = workers.max(1);
+    let sp = ShortestPaths::towards(&model.topo, model.dst);
+    let switch_progs: Vec<(u32, Prog)> = model
+        .topo
+        .switches()
+        .iter()
+        .map(|&s| (model.topo.sw_value(s), model.switch_policy(s, &sp)))
+        .collect();
+
+    // Map: compile per-switch programs on worker threads, each with its
+    // own manager (no shared locks), then export the results.
+    let chunk = switch_progs.len().div_ceil(workers);
+    let mut exported: Vec<(u32, FddExport)> = Vec::with_capacity(switch_progs.len());
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for work in switch_progs.chunks(chunk.max(1)) {
+            handles.push(scope.spawn(move |_| {
+                let local = Manager::new();
+                work.iter()
+                    .map(|(sw, prog)| {
+                        local
+                            .compile_with(prog, &CompileOptions::default())
+                            .map(|fdd| (*sw, local.export(fdd)))
+                    })
+                    .collect::<Result<Vec<_>, CompileError>>()
+            }));
+        }
+        for handle in handles {
+            let batch = handle.join().expect("worker panicked")?;
+            exported.extend(batch);
+        }
+        Ok::<(), CompileError>(())
+    })
+    .expect("thread scope failed")?;
+
+    // Reduce: import into the main manager and fold the disjoint `case`.
+    let mut policy = mgr.fail();
+    for (sw, export) in exported.into_iter().rev() {
+        let branch = mgr.import(&export);
+        let test = mgr.branch(model.fields.sw, sw, mgr.pass(), mgr.fail());
+        policy = mgr.ite(test, branch, policy);
+    }
+
+    // Sequential tail: topology, counter, erasure, loop, wrappers. These
+    // are cheap compared to the per-switch map phase.
+    let topo_fdd = mgr.compile(&model.topology_program())?;
+    let mut body = mgr.seq(policy, topo_fdd);
+    // Hop counting + flag erasure (mirrors `NetworkModel::body`).
+    let remainder = body_remainder(model);
+    let rem_fdd = mgr.compile(&remainder)?;
+    body = mgr.seq(body, rem_fdd);
+
+    let guard = mgr.compile_pred(&model.guard());
+    let loop_fdd = mgr.while_loop(guard, body, opts)?;
+    let do_while = mgr.seq(body, loop_fdd);
+
+    let ingress = mgr.compile(&Prog::filter(model.ingress_pred()))?;
+    let with_in = mgr.seq(ingress, do_while);
+    let normalise = mgr.compile(&Prog::assign(model.fields.pt, 0))?;
+    let core = mgr.seq(with_in, normalise);
+
+    // Local-variable wrappers (enter assignments before, erasures after).
+    let (pre, post) = local_wrappers(model);
+    let pre_fdd = mgr.compile(&pre)?;
+    let post_fdd = mgr.compile(&post)?;
+    let tmp = mgr.seq(core, post_fdd);
+    Ok(mgr.seq(pre_fdd, tmp))
+}
+
+/// The part of the loop body that follows `p ; t̂`: hop counting and flag
+/// erasure (mirrors [`NetworkModel::body`]).
+fn body_remainder(model: &NetworkModel) -> Prog {
+    use mcnetkat_core::Pred;
+    let mut prog = Prog::skip();
+    if let Some(cap) = model.hop_cap {
+        let mut bump = Prog::skip();
+        for v in (0..cap).rev() {
+            bump = Prog::ite(
+                Pred::test(model.fields.cnt, v),
+                Prog::assign(model.fields.cnt, v + 1),
+                bump,
+            );
+        }
+        prog = prog.seq(bump);
+    }
+    let ports: Vec<u32> = (1..=model.topo.max_degree() as u32).collect();
+    prog.seq(crate::FailureModel::erase_program(&model.fields, &ports))
+}
+
+/// The local-variable wrappers of [`NetworkModel::program`] as explicit
+/// pre/post assignment sequences.
+fn local_wrappers(model: &NetworkModel) -> (Prog, Prog) {
+    let mut pre = Vec::new();
+    let mut post = Vec::new();
+    for i in 1..=model.topo.max_degree() as u32 {
+        pre.push(Prog::assign(model.fields.up(i), 1));
+        post.push(Prog::assign(model.fields.up(i), 0));
+    }
+    if model.failure.k.is_some() && !model.failure.is_failure_free() {
+        pre.push(Prog::assign(model.fields.fl, 0));
+        post.push(Prog::assign(model.fields.fl, 0));
+    }
+    pre.push(Prog::assign(model.fields.dt, 0));
+    post.push(Prog::assign(model.fields.dt, 0));
+    (Prog::seq_all(pre), Prog::seq_all(post))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailureModel, Queries, RoutingScheme};
+    use mcnetkat_num::Ratio;
+    use mcnetkat_topo::ab_fattree;
+
+    fn model() -> NetworkModel {
+        let topo = ab_fattree(4);
+        let dst = topo.find("edge0_0").unwrap();
+        NetworkModel::new(
+            topo,
+            dst,
+            RoutingScheme::F10_3,
+            FailureModel::independent(Ratio::new(1, 10)),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let m = model();
+        let mgr = Manager::new();
+        let sequential = m.compile(&mgr).unwrap();
+        for workers in [1, 2, 4] {
+            let parallel =
+                compile_model_parallel(&mgr, &m, workers, &Default::default()).unwrap();
+            assert!(
+                mgr.equiv(sequential, parallel),
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_queries_agree() {
+        let m = model();
+        let mgr = Manager::new();
+        let fdd = compile_model_parallel(&mgr, &m, 4, &Default::default()).unwrap();
+        let q = Queries::from_fdd(&mgr, &m, fdd);
+        let seq_q = Queries::new(&mgr, &m).unwrap();
+        let src = m.topo.find("edge1_0").unwrap();
+        assert_eq!(q.delivery_prob(src), seq_q.delivery_prob(src));
+    }
+}

@@ -1,0 +1,685 @@
+//! Sign-magnitude arbitrary-precision integers over base-2^32 limbs.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+const BASE_BITS: u32 = 32;
+
+/// An arbitrary-precision signed integer.
+///
+/// Representation: little-endian `u32` limbs with no trailing zero limb;
+/// zero is the empty limb vector with `negative == false`.
+///
+/// # Examples
+///
+/// ```
+/// use mcnetkat_num::BigInt;
+/// let a = BigInt::from(1u64 << 40);
+/// let b = BigInt::from(3u64);
+/// assert_eq!((&a * &b).to_string(), "3298534883328");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigInt {
+    negative: bool,
+    limbs: Vec<u32>,
+}
+
+impl BigInt {
+    /// The integer zero.
+    pub fn zero() -> Self {
+        BigInt::default()
+    }
+
+    /// The integer one.
+    pub fn one() -> Self {
+        BigInt::from(1u64)
+    }
+
+    /// Returns `true` if this integer is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if this integer is one.
+    pub fn is_one(&self) -> bool {
+        !self.negative && self.limbs == [1]
+    }
+
+    /// Returns `true` if this integer is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Returns the absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            negative: false,
+            limbs: self.limbs.clone(),
+        }
+    }
+
+    fn trim(mut limbs: Vec<u32>, negative: bool) -> BigInt {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        let negative = negative && !limbs.is_empty();
+        BigInt { negative, limbs }
+    }
+
+    /// Number of significant bits in the magnitude (0 for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * BASE_BITS as u64 + (32 - top.leading_zeros()) as u64
+            }
+        }
+    }
+
+    fn cmp_abs(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_abs(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let sum = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(sum as u32);
+            carry = sum >> BASE_BITS;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Computes `a - b` assuming `|a| >= |b|`.
+    fn sub_abs(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Self::cmp_abs(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i64;
+        for i in 0..a.len() {
+            let mut diff = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+            if diff < 0 {
+                diff += 1 << BASE_BITS;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(diff as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+
+    fn mul_abs(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &y) in b.iter().enumerate() {
+                let cur = out[i + j] as u64 + x as u64 * y as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> BASE_BITS;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> BASE_BITS;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Divides magnitude by a single limb, returning (quotient, remainder).
+    fn divmod_small(a: &[u32], d: u32) -> (Vec<u32>, u32) {
+        debug_assert!(d != 0);
+        let mut out = vec![0u32; a.len()];
+        let mut rem = 0u64;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << BASE_BITS) | a[i] as u64;
+            out[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        (out, rem as u32)
+    }
+
+    /// Magnitude division: returns `(|a| / |b|, |a| % |b|)`.
+    ///
+    /// Schoolbook long division (Knuth Algorithm D with normalisation).
+    fn divmod_abs(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert!(!b.is_empty(), "division by zero");
+        if Self::cmp_abs(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        if b.len() == 1 {
+            let (q, r) = Self::divmod_small(a, b[0]);
+            return (q, if r == 0 { Vec::new() } else { vec![r] });
+        }
+        // Normalise so the divisor's top limb has its high bit set.
+        let shift = b.last().unwrap().leading_zeros();
+        let bn = shl_bits(b, shift);
+        let mut an = shl_bits(a, shift);
+        an.push(0); // guarantee an extra high limb
+        let n = bn.len();
+        let m = an.len() - n - 1;
+        let mut q = vec![0u32; m + 1];
+        let btop = *bn.last().unwrap() as u64;
+        let bsecond = bn[n - 2] as u64;
+        for j in (0..=m).rev() {
+            // Estimate q̂ from the top three limbs.
+            let top2 = ((an[j + n] as u64) << BASE_BITS) | an[j + n - 1] as u64;
+            let mut qhat = top2 / btop;
+            let mut rhat = top2 % btop;
+            while qhat >> BASE_BITS != 0
+                || qhat * bsecond > ((rhat << BASE_BITS) | an[j + n - 2] as u64)
+            {
+                qhat -= 1;
+                rhat += btop;
+                if rhat >> BASE_BITS != 0 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract qhat * bn from an[j .. j+n].
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let prod = qhat * bn[i] as u64 + carry;
+                carry = prod >> BASE_BITS;
+                let mut diff = an[j + i] as i64 - (prod as u32) as i64 - borrow;
+                if diff < 0 {
+                    diff += 1 << BASE_BITS;
+                    borrow = 1;
+                } else {
+                    borrow = 0;
+                }
+                an[j + i] = diff as u32;
+            }
+            let mut diff = an[j + n] as i64 - carry as i64 - borrow;
+            if diff < 0 {
+                // q̂ was one too large: add bn back.
+                diff += 1 << BASE_BITS;
+                qhat -= 1;
+                let mut c = 0u64;
+                for i in 0..n {
+                    let sum = an[j + i] as u64 + bn[i] as u64 + c;
+                    an[j + i] = sum as u32;
+                    c = sum >> BASE_BITS;
+                }
+                diff += c as i64;
+            }
+            an[j + n] = diff as u32;
+            q[j] = qhat as u32;
+        }
+        let rem = shr_bits(&an[..n], shift);
+        let mut qv = q;
+        while qv.last() == Some(&0) {
+            qv.pop();
+        }
+        (qv, rem)
+    }
+
+    /// Returns `(quotient, remainder)` with truncation towards zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn divmod(&self, other: &BigInt) -> (BigInt, BigInt) {
+        let (q, r) = Self::divmod_abs(&self.limbs, &other.limbs);
+        (
+            Self::trim(q, self.negative != other.negative),
+            Self::trim(r, self.negative),
+        )
+    }
+
+    /// The greatest common divisor of the magnitudes (always non-negative).
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let (_, r) = a.divmod(&b);
+            a = b;
+            b = r.abs();
+        }
+        a
+    }
+
+    /// Lossy conversion to `f64` (round-to-nearest for in-range values,
+    /// ±∞ on overflow).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * (1u64 << BASE_BITS) as f64 + limb as f64;
+        }
+        if self.negative {
+            -acc
+        } else {
+            acc
+        }
+    }
+
+    /// Conversion to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.negative || self.limbs.len() > 2 {
+            return None;
+        }
+        let lo = *self.limbs.first().unwrap_or(&0) as u64;
+        let hi = *self.limbs.get(1).unwrap_or(&0) as u64;
+        Some((hi << BASE_BITS) | lo)
+    }
+
+    /// Conversion to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let mag = self.abs().to_u64()?;
+        if self.negative {
+            if mag <= 1u64 << 63 {
+                Some((mag as i64).wrapping_neg())
+            } else {
+                None
+            }
+        } else {
+            i64::try_from(mag).ok()
+        }
+    }
+
+    /// `self * 10^k`, used by the decimal printer/parser.
+    fn mul_pow10(&self, k: u32) -> BigInt {
+        let mut out = self.clone();
+        for _ in 0..k {
+            out = &out * &BigInt::from(10u64);
+        }
+        out
+    }
+
+    /// Parses a decimal string with optional leading `-`.
+    pub fn parse(s: &str) -> Option<BigInt> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mut acc = BigInt::zero();
+        for chunk in digits.as_bytes().chunks(9) {
+            let part: u64 = std::str::from_utf8(chunk).ok()?.parse().ok()?;
+            acc = acc.mul_pow10(chunk.len() as u32) + BigInt::from(part);
+        }
+        acc.negative = neg && !acc.is_zero();
+        Some(acc)
+    }
+
+    /// Raises `self` to a small power.
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+fn shl_bits(v: &[u32], shift: u32) -> Vec<u32> {
+    if shift == 0 {
+        return v.to_vec();
+    }
+    let mut out = Vec::with_capacity(v.len() + 1);
+    let mut carry = 0u32;
+    for &x in v {
+        out.push((x << shift) | carry);
+        carry = (x >> (BASE_BITS - shift)) as u32;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+fn shr_bits(v: &[u32], shift: u32) -> Vec<u32> {
+    let mut out = v.to_vec();
+    if shift != 0 {
+        for i in 0..out.len() {
+            let hi = if i + 1 < v.len() { v[i + 1] } else { 0 };
+            out[i] = (v[i] >> shift) | (hi << (BASE_BITS - shift));
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        let mut limbs = vec![v as u32, (v >> BASE_BITS) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigInt {
+            negative: false,
+            limbs,
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        let mut b = BigInt::from(v.unsigned_abs());
+        b.negative = v < 0;
+        b
+    }
+}
+
+impl From<u32> for BigInt {
+    fn from(v: u32) -> Self {
+        BigInt::from(v as u64)
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i64)
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => Self::cmp_abs(&self.limbs, &other.limbs),
+            (true, true) => Self::cmp_abs(&other.limbs, &self.limbs),
+        }
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.negative == rhs.negative {
+            BigInt::trim(BigInt::add_abs(&self.limbs, &rhs.limbs), self.negative)
+        } else {
+            match BigInt::cmp_abs(&self.limbs, &rhs.limbs) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::trim(BigInt::sub_abs(&self.limbs, &rhs.limbs), self.negative)
+                }
+                Ordering::Less => {
+                    BigInt::trim(BigInt::sub_abs(&rhs.limbs, &self.limbs), rhs.negative)
+                }
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::trim(
+            BigInt::mul_abs(&self.limbs, &rhs.limbs),
+            self.negative != rhs.negative,
+        )
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.divmod(rhs).1
+    }
+}
+
+macro_rules! forward_owned {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+forward_owned!(Add, add);
+forward_owned!(Sub, sub);
+forward_owned!(Mul, mul);
+forward_owned!(Rem, rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        if !self.is_zero() {
+            self.negative = !self.negative;
+        }
+        self
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        if self.negative {
+            write!(f, "-")?;
+        }
+        // Repeated division by 10^9 produces base-10^9 digits.
+        let mut limbs = self.limbs.clone();
+        let mut chunks = Vec::new();
+        while !limbs.is_empty() {
+            let (q, r) = BigInt::divmod_small(&limbs, 1_000_000_000);
+            limbs = q;
+            while limbs.last() == Some(&0) {
+                limbs.pop();
+            }
+            chunks.push(r);
+        }
+        write!(f, "{}", chunks.last().unwrap())?;
+        for chunk in chunks.iter().rev().skip(1) {
+            write!(f, "{chunk:09}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigInt::zero().is_zero());
+        assert!(BigInt::one().is_one());
+        assert_eq!(BigInt::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn add_small() {
+        assert_eq!(big(2) + big(3), big(5));
+        assert_eq!(big(-2) + big(3), big(1));
+        assert_eq!(big(2) + big(-3), big(-1));
+        assert_eq!(big(-2) + big(-3), big(-5));
+    }
+
+    #[test]
+    fn sub_small() {
+        assert_eq!(big(10) - big(3), big(7));
+        assert_eq!(big(3) - big(10), big(-7));
+        assert_eq!(big(5) - big(5), BigInt::zero());
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(big(7) * big(6), big(42));
+        assert_eq!(big(-7) * big(6), big(-42));
+        assert_eq!(big(0) * big(123), BigInt::zero());
+    }
+
+    #[test]
+    fn mul_carries_across_limbs() {
+        let a = BigInt::from(u64::MAX);
+        let sq = &a * &a;
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(sq.to_string(), "340282366920938463426481119284349108225");
+    }
+
+    #[test]
+    fn divmod_small_values() {
+        let (q, r) = big(17).divmod(&big(5));
+        assert_eq!((q, r), (big(3), big(2)));
+        let (q, r) = big(-17).divmod(&big(5));
+        assert_eq!((q, r), (big(-3), big(-2)));
+        let (q, r) = big(17).divmod(&big(-5));
+        assert_eq!((q, r), (big(-3), big(2)));
+    }
+
+    #[test]
+    fn divmod_multi_limb() {
+        let a = BigInt::parse("123456789012345678901234567890").unwrap();
+        let b = BigInt::parse("987654321098765").unwrap();
+        let (q, r) = a.divmod(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn division_by_zero_panics() {
+        let result = std::panic::catch_unwind(|| big(1).divmod(&BigInt::zero()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn gcd_values() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(-12).gcd(&big(18)), big(6));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(7).gcd(&big(13)), big(1));
+    }
+
+    #[test]
+    fn display_round_trips_parse() {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "999999999",
+            "1000000000",
+            "123456789012345678901234567890",
+            "-98765432109876543210",
+        ] {
+            assert_eq!(BigInt::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BigInt::parse("").is_none());
+        assert!(BigInt::parse("-").is_none());
+        assert!(BigInt::parse("12a3").is_none());
+    }
+
+    #[test]
+    fn to_f64_matches() {
+        assert_eq!(big(12345).to_f64(), 12345.0);
+        assert_eq!(big(-7).to_f64(), -7.0);
+        let a = BigInt::from(1u64 << 53);
+        assert_eq!(a.to_f64(), 9007199254740992.0);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(big(42).to_u64(), Some(42));
+        assert_eq!(big(-42).to_u64(), None);
+        assert_eq!(big(-42).to_i64(), Some(-42));
+        assert_eq!(BigInt::from(u64::MAX).to_i64(), None);
+        assert_eq!(BigInt::from(i64::MIN).to_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn pow_values() {
+        assert_eq!(big(2).pow(10), big(1024));
+        assert_eq!(big(10).pow(0), big(1));
+        assert_eq!(big(3).pow(40).to_string(), "12157665459056928801");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(-5) < big(3));
+        assert!(big(3) < big(5));
+        assert!(big(-3) > big(-5));
+        let a = BigInt::parse("123456789012345678901").unwrap();
+        assert!(a > big(i64::MAX));
+    }
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(BigInt::zero().bits(), 0);
+        assert_eq!(big(1).bits(), 1);
+        assert_eq!(big(255).bits(), 8);
+        assert_eq!(BigInt::from(1u64 << 40).bits(), 41);
+    }
+}

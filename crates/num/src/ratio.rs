@@ -1,0 +1,462 @@
+//! Exact rationals, always stored in lowest terms with positive denominator.
+
+use crate::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number.
+///
+/// Invariants: `den > 0` and `gcd(|num|, den) == 1`; zero is `0/1`.
+///
+/// # Examples
+///
+/// ```
+/// use mcnetkat_num::Ratio;
+/// let p = Ratio::new(1, 4) + Ratio::new(1, 4);
+/// assert_eq!(p, Ratio::new(1, 2));
+/// assert_eq!(p.to_f64(), 0.5);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: BigInt,
+    den: BigInt,
+}
+
+/// Error returned when parsing a [`Ratio`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatioError;
+
+impl fmt::Display for ParseRatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational syntax")
+    }
+}
+
+impl std::error::Error for ParseRatioError {}
+
+impl Ratio {
+    /// Creates `num/den` from machine integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        Self::from_bigints(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Creates `num/den` from big integers, normalising the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn from_bigints(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let (num, den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
+        let g = num.gcd(&den);
+        if g.is_one() || num.is_zero() {
+            if num.is_zero() {
+                return Ratio {
+                    num: BigInt::zero(),
+                    den: BigInt::one(),
+                };
+            }
+            return Ratio { num, den };
+        }
+        Ratio {
+            num: num.divmod(&g).0,
+            den: den.divmod(&g).0,
+        }
+    }
+
+    /// The rational zero.
+    pub fn zero() -> Self {
+        Ratio {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The rational one.
+    pub fn one() -> Self {
+        Ratio {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Creates the integer `n` as a rational.
+    pub fn from_integer(n: i64) -> Self {
+        Ratio::new(n, 1)
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` if this is a valid probability, i.e. in `[0, 1]`.
+    pub fn is_probability(&self) -> bool {
+        !self.is_negative() && *self <= Ratio::one()
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Ratio {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Ratio::from_bigints(self.den.clone(), self.num.clone())
+    }
+
+    /// Lossy conversion to `f64`.
+    ///
+    /// Scales numerator and denominator down together so the division stays
+    /// in `f64` range even for huge exact values.
+    pub fn to_f64(&self) -> f64 {
+        let nbits = self.num.bits();
+        let dbits = self.den.bits();
+        if nbits < 1000 && dbits < 1000 {
+            return self.num.to_f64() / self.den.to_f64();
+        }
+        // Shift both down so the larger fits in ~900 bits.
+        let excess = nbits.max(dbits).saturating_sub(900) as u32;
+        let scale = BigInt::from(2u64).pow(excess);
+        let n = self.num.divmod(&scale).0;
+        let d = self.den.divmod(&scale).0;
+        if d.is_zero() {
+            return if self.num.is_negative() {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            };
+        }
+        n.to_f64() / d.to_f64()
+    }
+
+    /// Approximates an `f64` by an exact dyadic rational (exact for finite
+    /// floats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN or infinite.
+    pub fn from_f64(v: f64) -> Ratio {
+        assert!(v.is_finite(), "cannot represent non-finite float exactly");
+        if v == 0.0 {
+            return Ratio::zero();
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { -1i64 } else { 1 };
+        let exponent = ((bits >> 52) & 0x7ff) as i64;
+        let mantissa = if exponent == 0 {
+            bits & 0xf_ffff_ffff_ffff
+        } else {
+            (bits & 0xf_ffff_ffff_ffff) | 0x10_0000_0000_0000
+        };
+        let exp2 = exponent.max(1) - 1075;
+        let m = BigInt::from(mantissa) * BigInt::from(sign);
+        if exp2 >= 0 {
+            Ratio::from_bigints(m * BigInt::from(2u64).pow(exp2 as u32), BigInt::one())
+        } else {
+            Ratio::from_bigints(m, BigInt::from(2u64).pow((-exp2) as u32))
+        }
+    }
+
+    /// Raises to a small integer power.
+    pub fn pow(&self, exp: u32) -> Ratio {
+        Ratio::from_bigints(self.num.pow(exp), self.den.pow(exp))
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Ratio {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::zero()
+    }
+}
+
+impl Add for &Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: &Ratio) -> Ratio {
+        Ratio::from_bigints(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: &Ratio) -> Ratio {
+        Ratio::from_bigints(
+            &(&self.num * &rhs.den) - &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Mul for &Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: &Ratio) -> Ratio {
+        Ratio::from_bigints(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: &Ratio) -> Ratio {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        Ratio::from_bigints(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_owned {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: Ratio) -> Ratio {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Ratio> for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: &Ratio) -> Ratio {
+                (&self).$method(rhs)
+            }
+        }
+    };
+}
+forward_owned!(Add, add);
+forward_owned!(Sub, sub);
+forward_owned!(Mul, mul);
+forward_owned!(Div, div);
+
+impl AddAssign<&Ratio> for Ratio {
+    fn add_assign(&mut self, rhs: &Ratio) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Ratio> for Ratio {
+    fn sub_assign(&mut self, rhs: &Ratio) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Ratio> for Ratio {
+    fn mul_assign(&mut self, rhs: &Ratio) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Cross-multiply: denominators are positive so order is preserved.
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+impl FromStr for Ratio {
+    type Err = ParseRatioError;
+
+    /// Parses `"a"`, `"a/b"` or a decimal literal such as `"0.125"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some((n, d)) = s.split_once('/') {
+            let num = BigInt::parse(n.trim()).ok_or(ParseRatioError)?;
+            let den = BigInt::parse(d.trim()).ok_or(ParseRatioError)?;
+            if den.is_zero() {
+                return Err(ParseRatioError);
+            }
+            return Ok(Ratio::from_bigints(num, den));
+        }
+        if let Some((int, frac)) = s.split_once('.') {
+            let int = if int.is_empty() { "0" } else { int };
+            let neg = int.starts_with('-');
+            let whole = BigInt::parse(int).ok_or(ParseRatioError)?;
+            let fnum = BigInt::parse(frac).ok_or(ParseRatioError)?;
+            if fnum.is_negative() {
+                return Err(ParseRatioError);
+            }
+            let scale = BigInt::from(10u64).pow(frac.len() as u32);
+            let mag = &(&whole.abs() * &scale) + &fnum;
+            let num = if neg { -mag } else { mag };
+            return Ok(Ratio::from_bigints(num, scale));
+        }
+        let num = BigInt::parse(s.trim()).ok_or(ParseRatioError)?;
+        Ok(Ratio::from_bigints(num, BigInt::one()))
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(v: i64) -> Self {
+        Ratio::from_integer(v)
+    }
+}
+
+impl From<u32> for Ratio {
+    fn from(v: u32) -> Self {
+        Ratio::from_integer(v as i64)
+    }
+}
+
+impl std::iter::Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-2, -4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(2, -4), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(0, 7), Ratio::zero());
+        assert_eq!(Ratio::new(0, 7).denom(), &mcnetkat_num_one());
+    }
+
+    fn mcnetkat_num_one() -> BigInt {
+        BigInt::one()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(1, 2);
+        let b = Ratio::new(1, 3);
+        assert_eq!(&a + &b, Ratio::new(5, 6));
+        assert_eq!(&a - &b, Ratio::new(1, 6));
+        assert_eq!(&a * &b, Ratio::new(1, 6));
+        assert_eq!(&a / &b, Ratio::new(3, 2));
+    }
+
+    #[test]
+    fn probability_range() {
+        assert!(Ratio::new(1, 2).is_probability());
+        assert!(Ratio::zero().is_probability());
+        assert!(Ratio::one().is_probability());
+        assert!(!Ratio::new(3, 2).is_probability());
+        assert!(!Ratio::new(-1, 2).is_probability());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 2) < Ratio::zero());
+        assert!(Ratio::new(2, 3) > Ratio::new(3, 5));
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(Ratio::new(1, 2).to_string(), "1/2");
+        assert_eq!(Ratio::from_integer(5).to_string(), "5");
+        assert_eq!("3/4".parse::<Ratio>().unwrap(), Ratio::new(3, 4));
+        assert_eq!("7".parse::<Ratio>().unwrap(), Ratio::from_integer(7));
+        assert_eq!("0.125".parse::<Ratio>().unwrap(), Ratio::new(1, 8));
+        assert_eq!("-0.5".parse::<Ratio>().unwrap(), Ratio::new(-1, 2));
+        assert!("1/0".parse::<Ratio>().is_err());
+        assert!("x".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn f64_round_trips() {
+        for v in [0.0, 0.5, 0.25, -0.75, 1.0, 0.001, 1.0 / 3.0] {
+            let r = Ratio::from_f64(v);
+            assert_eq!(r.to_f64(), v, "round trip {v}");
+        }
+        assert_eq!(Ratio::from_f64(0.5), Ratio::new(1, 2));
+        assert_eq!(Ratio::from_f64(0.2).to_f64(), 0.2);
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(Ratio::new(2, 3).pow(3), Ratio::new(8, 27));
+        assert_eq!(Ratio::new(2, 3).recip(), Ratio::new(3, 2));
+        assert_eq!(Ratio::new(2, 3).pow(0), Ratio::one());
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let parts = vec![Ratio::new(1, 4); 4];
+        let total: Ratio = parts.into_iter().sum();
+        assert_eq!(total, Ratio::one());
+    }
+
+    #[test]
+    fn large_values_stay_exact() {
+        // (1/3 + 1/3 + 1/3) stays exactly 1 even after many operations.
+        let third = Ratio::new(1, 3);
+        let mut acc = Ratio::zero();
+        for _ in 0..99 {
+            acc += &third;
+        }
+        assert_eq!(acc, Ratio::from_integer(33));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the exact-arithmetic substrate.
+
+use mcnetkat_num::{BigInt, Ratio};
+use proptest::prelude::*;
+
+fn arb_bigint() -> impl Strategy<Value = BigInt> {
+    // Mix of small values and multi-limb values built from parts.
+    prop_oneof![
+        any::<i64>().prop_map(BigInt::from),
+        (any::<u64>(), any::<u64>(), any::<bool>()).prop_map(|(a, b, neg)| {
+            let v = BigInt::from(a) * BigInt::from(u64::MAX) + BigInt::from(b);
+            if neg {
+                -v
+            } else {
+                v
+            }
+        }),
+    ]
+}
+
+fn arb_ratio() -> impl Strategy<Value = Ratio> {
+    (any::<i32>(), 1..=10_000i64).prop_map(|(n, d)| Ratio::new(n as i64, d))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in arb_bigint(), b in arb_bigint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_distributes(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_bigint(), b in arb_bigint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn divmod_identity(a in arb_bigint(), b in arb_bigint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divmod(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        prop_assert!(r.abs() < b.abs());
+        // Remainder has the sign of the dividend (or is zero).
+        prop_assert!(r.is_zero() || r.is_negative() == a.is_negative());
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_bigint(), b in arb_bigint()) {
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in arb_bigint()) {
+        let s = a.to_string();
+        prop_assert_eq!(BigInt::parse(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn ratio_field_axioms(a in arb_ratio(), b in arb_ratio(), c in arb_ratio()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&(&a + &b) - &b, a.clone());
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a);
+        }
+    }
+
+    #[test]
+    fn ratio_normalised(n in any::<i32>(), d in 1..=10_000i64) {
+        let r = Ratio::new(n as i64, d);
+        prop_assert!(!r.denom().is_negative());
+        prop_assert!(!r.denom().is_zero());
+        let g = r.numer().gcd(r.denom());
+        prop_assert!(g.is_one() || r.is_zero());
+    }
+
+    #[test]
+    fn ratio_matches_f64(a in arb_ratio(), b in arb_ratio()) {
+        let exact = (&a + &b).to_f64();
+        let approx = a.to_f64() + b.to_f64();
+        // Relative tolerance: the operands may be large.
+        let scale = 1.0f64.max(exact.abs());
+        prop_assert!((exact - approx).abs() < 1e-9 * scale);
+    }
+
+    #[test]
+    fn ratio_ordering_matches_f64(a in arb_ratio(), b in arb_ratio()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+
+    #[test]
+    fn ratio_string_round_trip(a in arb_ratio()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Ratio>().unwrap(), a);
+    }
+
+    #[test]
+    fn from_f64_exact(v in -1.0e9..1.0e9f64) {
+        prop_assert_eq!(Ratio::from_f64(v).to_f64(), v);
+    }
+}

@@ -1,0 +1,336 @@
+//! Thompson-style automaton construction (§5.2).
+//!
+//! Each edge carries a predicate `ϕ`, a probability `p`, and a sequence of
+//! updates `u`, subject to the well-formedness conditions of the paper:
+//! the predicates on a state's outgoing edges partition the state space,
+//! and for each state and predicate the probabilities sum to one.
+
+use mcnetkat_core::{Field, Pred, Prog, Value};
+use mcnetkat_num::Ratio;
+use std::fmt;
+
+/// An automaton edge `src --ϕ/p/u--> dst`.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Source state.
+    pub src: usize,
+    /// Guard predicate over packet fields.
+    pub guard: Pred,
+    /// Probability (within its `(src, guard)` group).
+    pub prob: Ratio,
+    /// Field updates applied on this transition.
+    pub updates: Vec<(Field, Value)>,
+    /// Destination state.
+    pub dst: usize,
+}
+
+/// The control-flow automaton of a guarded ProbNetKAT program.
+#[derive(Clone, Debug)]
+pub struct Automaton {
+    /// Number of states (`pc` ranges over `0..nstates`).
+    pub nstates: usize,
+    /// All edges.
+    pub edges: Vec<Edge>,
+    /// Entry state.
+    pub entry: usize,
+    /// Accepting exit state (absorbing).
+    pub exit: usize,
+    /// Drop sink (absorbing).
+    pub sink: usize,
+}
+
+/// Error for programs outside the guarded fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError(pub &'static str);
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot translate `{}` to PRISM", self.0)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translates a guarded program into an [`Automaton`] and collapses basic
+/// blocks.
+///
+/// # Errors
+///
+/// Fails on `Union` or `Star`.
+pub fn translate(prog: &Prog) -> Result<Automaton, TranslateError> {
+    let mut auto = Builder::new();
+    let entry = auto.fresh();
+    let exit = auto.fresh();
+    let sink = auto.fresh();
+    auto.sink = sink;
+    auto.emit(prog, entry, exit)?;
+    let mut result = Automaton {
+        nstates: auto.next,
+        edges: auto.edges,
+        entry,
+        exit,
+        sink,
+    };
+    result.collapse();
+    Ok(result)
+}
+
+struct Builder {
+    next: usize,
+    edges: Vec<Edge>,
+    sink: usize,
+}
+
+impl Builder {
+    fn new() -> Builder {
+        Builder {
+            next: 0,
+            edges: Vec::new(),
+            sink: 0,
+        }
+    }
+
+    fn fresh(&mut self) -> usize {
+        self.next += 1;
+        self.next - 1
+    }
+
+    fn edge(&mut self, src: usize, guard: Pred, prob: Ratio, updates: Vec<(Field, Value)>, dst: usize) {
+        self.edges.push(Edge {
+            src,
+            guard,
+            prob,
+            updates,
+            dst,
+        });
+    }
+
+    fn emit(&mut self, prog: &Prog, entry: usize, exit: usize) -> Result<(), TranslateError> {
+        match prog {
+            Prog::Filter(t) => {
+                self.edge(entry, t.clone(), Ratio::one(), Vec::new(), exit);
+                self.edge(entry, t.clone().not(), Ratio::one(), Vec::new(), self.sink);
+            }
+            Prog::Assign(f, n) => {
+                self.edge(entry, Pred::t(), Ratio::one(), vec![(*f, *n)], exit);
+            }
+            Prog::Union(..) => return Err(TranslateError("&")),
+            Prog::Star(..) => return Err(TranslateError("*")),
+            Prog::Seq(p, q) => {
+                let mid = self.fresh();
+                self.emit(p, entry, mid)?;
+                self.emit(q, mid, exit)?;
+            }
+            Prog::Choice(branches) => {
+                for (p, r) in branches.iter() {
+                    let s = self.fresh();
+                    self.edge(entry, Pred::t(), r.clone(), Vec::new(), s);
+                    self.emit(p, s, exit)?;
+                }
+            }
+            Prog::If(t, p, q) => {
+                let sp = self.fresh();
+                let sq = self.fresh();
+                self.edge(entry, t.clone(), Ratio::one(), Vec::new(), sp);
+                self.edge(entry, t.clone().not(), Ratio::one(), Vec::new(), sq);
+                self.emit(p, sp, exit)?;
+                self.emit(q, sq, exit)?;
+            }
+            Prog::While(t, body) => {
+                let sbody = self.fresh();
+                self.edge(entry, t.clone(), Ratio::one(), Vec::new(), sbody);
+                self.edge(entry, t.clone().not(), Ratio::one(), Vec::new(), exit);
+                // The body loops back to the guard state.
+                self.emit(body, sbody, entry)?;
+            }
+            Prog::Local(f, n, body) => {
+                let s1 = self.fresh();
+                let s2 = self.fresh();
+                self.edge(entry, Pred::t(), Ratio::one(), vec![(*f, *n)], s1);
+                self.emit(body, s1, s2)?;
+                self.edge(s2, Pred::t(), Ratio::one(), vec![(*f, 0)], exit);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Automaton {
+    /// Collapses basic blocks: a state whose single outgoing edge is
+    /// unconditional (`true/1/u`) is fused into its predecessors,
+    /// shrinking the `pc` range — the state-space optimisation of §5.2.
+    pub fn collapse(&mut self) {
+        loop {
+            // Find a fusable state: exactly one outgoing edge, guard true,
+            // prob 1, not a self loop, and not the entry.
+            let mut fused = false;
+            for s in 0..self.nstates {
+                if s == self.entry || s == self.exit || s == self.sink {
+                    continue;
+                }
+                let outgoing: Vec<usize> = self
+                    .edges
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.src == s)
+                    .map(|(i, _)| i)
+                    .collect();
+                if outgoing.len() != 1 {
+                    continue;
+                }
+                let e = &self.edges[outgoing[0]];
+                if e.guard != Pred::True || !e.prob.is_one() || e.dst == s {
+                    continue;
+                }
+                let (chain_updates, chain_dst) = (e.updates.clone(), e.dst);
+                let edge_ix = outgoing[0];
+                // Redirect predecessors through the chain.
+                for edge in &mut self.edges {
+                    if edge.dst == s {
+                        edge.dst = chain_dst;
+                        edge.updates = compose_updates(&edge.updates, &chain_updates);
+                    }
+                }
+                self.edges.swap_remove(edge_ix);
+                fused = true;
+                break;
+            }
+            if !fused {
+                break;
+            }
+        }
+        self.renumber();
+    }
+
+    /// Renumbers states densely (dropping unreachable ids) so the printed
+    /// `pc` variable has a tight bound.
+    fn renumber(&mut self) {
+        let mut map = vec![usize::MAX; self.nstates];
+        let mut next = 0;
+        let visit = |s: usize, map: &mut Vec<usize>, next: &mut usize| {
+            if map[s] == usize::MAX {
+                map[s] = *next;
+                *next += 1;
+            }
+        };
+        visit(self.entry, &mut map, &mut next);
+        visit(self.exit, &mut map, &mut next);
+        visit(self.sink, &mut map, &mut next);
+        for e in &self.edges {
+            visit(e.src, &mut map, &mut next);
+            visit(e.dst, &mut map, &mut next);
+        }
+        for e in &mut self.edges {
+            e.src = map[e.src];
+            e.dst = map[e.dst];
+        }
+        self.entry = map[self.entry];
+        self.exit = map[self.exit];
+        self.sink = map[self.sink];
+        self.nstates = next;
+    }
+
+    /// The outgoing edges of `s`.
+    pub fn outgoing(&self, s: usize) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.src == s)
+    }
+
+    /// Checks the §5.2 well-formedness conditions on a sample packet
+    /// universe: for every state the live guards' probabilities sum to 1.
+    pub fn check_well_formed(&self, packets: &[mcnetkat_core::Packet]) -> Result<(), String> {
+        for s in 0..self.nstates {
+            if s == self.exit || s == self.sink {
+                continue;
+            }
+            let out: Vec<&Edge> = self.outgoing(s).collect();
+            if out.is_empty() {
+                continue; // unreachable helper state
+            }
+            for pk in packets {
+                let total: Ratio = out
+                    .iter()
+                    .filter(|e| e.guard.eval(pk))
+                    .map(|e| e.prob.clone())
+                    .sum();
+                if total != Ratio::one() {
+                    return Err(format!(
+                        "state {s} has outgoing probability {total} on {pk}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn compose_updates(first: &[(Field, Value)], second: &[(Field, Value)]) -> Vec<(Field, Value)> {
+    let mut out: Vec<(Field, Value)> = first.to_vec();
+    for &(f, v) in second {
+        match out.iter_mut().find(|(g, _)| *g == f) {
+            Some(slot) => slot.1 = v,
+            None => out.push((f, v)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnetkat_core::{Field, Packet};
+
+    fn field(n: &str) -> Field {
+        Field::named(n)
+    }
+
+    #[test]
+    fn translates_assignment_chain() {
+        let f = field("pa_f");
+        let g = field("pa_g");
+        let prog = Prog::assign(f, 1).seq(Prog::assign(g, 2));
+        let auto = translate(&prog).unwrap();
+        // Collapsing fuses the chain into few states.
+        assert!(auto.nstates <= 4, "got {} states", auto.nstates);
+        auto.check_well_formed(&[Packet::new()]).unwrap();
+    }
+
+    #[test]
+    fn translates_conditionals_with_partition() {
+        let f = field("pa_f2");
+        let prog = Prog::ite(Pred::test(f, 1), Prog::assign(f, 2), Prog::drop());
+        let auto = translate(&prog).unwrap();
+        let pks = [Packet::new(), Packet::new().with(f, 1)];
+        auto.check_well_formed(&pks).unwrap();
+    }
+
+    #[test]
+    fn translates_loops_with_back_edge() {
+        let f = field("pa_f3");
+        let body = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 2), Prog::skip());
+        let prog = Prog::while_(Pred::test(f, 0), body);
+        let auto = translate(&prog).unwrap();
+        let pks = [Packet::new(), Packet::new().with(f, 1)];
+        auto.check_well_formed(&pks).unwrap();
+        // There must be a cycle: some edge reaches an ancestor.
+        assert!(auto.edges.iter().any(|e| e.dst <= e.src));
+    }
+
+    #[test]
+    fn rejects_unguarded() {
+        let p = Prog::skip().union(Prog::drop());
+        assert!(translate(&p).is_err());
+        assert!(translate(&Prog::skip().star()).is_err());
+    }
+
+    #[test]
+    fn collapse_shrinks_state_count() {
+        let f = field("pa_f4");
+        // A long assignment chain should collapse to ~3 states.
+        let prog = Prog::seq_all((1..=10).map(|v| Prog::assign(f, v)));
+        let auto = translate(&prog).unwrap();
+        assert!(auto.nstates <= 4, "got {}", auto.nstates);
+        // The fused edge performs the *last* write.
+        let e = auto.outgoing(auto.entry).next().unwrap();
+        assert_eq!(e.updates, vec![(f, 10)]);
+    }
+}

@@ -1,0 +1,17 @@
+//! The PRISM backend (§5.2): a syntactic translation from guarded
+//! ProbNetKAT to PRISM's guarded-command language, plus an in-repo
+//! explicit-state DTMC model checker that stands in for the external PRISM
+//! tool (with exact-rational and approximate-float engines, mirroring
+//! PRISM's exact and approximate modes in Figure 10).
+//!
+//! Pipeline: Thompson-style automaton construction → basic-block
+//! collapsing (to keep the `pc` variable small) → either pretty-printed
+//! PRISM source or direct model checking.
+
+mod automaton;
+mod mc;
+mod print;
+
+pub use automaton::{translate, Automaton, Edge, TranslateError};
+pub use mc::{check_reachability, McMode, McResult};
+pub use print::{to_prism_source, to_property};

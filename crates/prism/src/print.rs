@@ -1,0 +1,149 @@
+//! Pretty-printing automata as PRISM source (a `dtmc` module) and PCTL
+//! properties.
+
+use crate::Automaton;
+use mcnetkat_core::{Field, Packet, Pred};
+use std::collections::BTreeMap;
+
+/// Renders a PRISM predicate.
+fn pred_to_prism(p: &Pred) -> String {
+    match p {
+        Pred::False => "false".into(),
+        Pred::True => "true".into(),
+        Pred::Test(f, v) => format!("{}={v}", sanitise(&f.name())),
+        Pred::Or(a, b) => format!("({} | {})", pred_to_prism(a), pred_to_prism(b)),
+        Pred::And(a, b) => format!("({} & {})", pred_to_prism(a), pred_to_prism(b)),
+        Pred::Not(a) => format!("!{}", pred_to_prism(a)),
+    }
+}
+
+fn sanitise(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Collects every field mentioned by the automaton with its maximum value,
+/// to derive variable bounds.
+fn field_bounds(auto: &Automaton, init: &Packet) -> BTreeMap<Field, u32> {
+    fn walk(p: &Pred, out: &mut BTreeMap<Field, u32>) {
+        match p {
+            Pred::Test(f, v) => {
+                let slot = out.entry(*f).or_insert(0);
+                *slot = (*slot).max(*v);
+            }
+            Pred::Or(a, b) | Pred::And(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Pred::Not(a) => walk(a, out),
+            _ => {}
+        }
+    }
+    let mut out = BTreeMap::new();
+    for e in &auto.edges {
+        walk(&e.guard, &mut out);
+        for &(f, v) in &e.updates {
+            let slot = out.entry(f).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+    }
+    for (f, v) in init.iter() {
+        let slot = out.entry(f).or_insert(0);
+        *slot = (*slot).max(v);
+    }
+    out
+}
+
+/// Renders the automaton as a PRISM `dtmc` model with the given initial
+/// packet.
+pub fn to_prism_source(auto: &Automaton, init: &Packet) -> String {
+    let mut out = String::from("dtmc\n\nmodule net\n");
+    out.push_str(&format!(
+        "  pc : [0..{}] init {};\n",
+        auto.nstates.saturating_sub(1),
+        auto.entry
+    ));
+    for (f, max) in field_bounds(auto, init) {
+        out.push_str(&format!(
+            "  {} : [0..{max}] init {};\n",
+            sanitise(&f.name()),
+            init.get(f)
+        ));
+    }
+    out.push('\n');
+    // Group edges by (src, guard) into guarded commands.
+    let mut groups: BTreeMap<(usize, String), Vec<&crate::Edge>> = BTreeMap::new();
+    for e in &auto.edges {
+        groups
+            .entry((e.src, pred_to_prism(&e.guard)))
+            .or_default()
+            .push(e);
+    }
+    for ((src, guard), edges) in groups {
+        let branches: Vec<String> = edges
+            .iter()
+            .map(|e| {
+                let mut updates: Vec<String> = vec![format!("(pc'={})", e.dst)];
+                for (f, v) in &e.updates {
+                    updates.push(format!("({}'={v})", sanitise(&f.name())));
+                }
+                format!("{} : {}", e.prob, updates.join(" & "))
+            })
+            .collect();
+        out.push_str(&format!(
+            "  [] pc={src} & {guard} -> {};\n",
+            branches.join(" + ")
+        ));
+    }
+    // Absorbing states.
+    out.push_str(&format!("  [] pc={} -> 1 : (pc'={});\n", auto.exit, auto.exit));
+    out.push_str(&format!("  [] pc={} -> 1 : (pc'={});\n", auto.sink, auto.sink));
+    out.push_str("endmodule\n");
+    out
+}
+
+/// Renders the PCTL delivery property `P=? [ F pc=exit & accept ]`.
+pub fn to_property(auto: &Automaton, accept: &Pred) -> String {
+    format!("P=? [ F pc={} & {} ]", auto.exit, pred_to_prism(accept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate;
+    use mcnetkat_core::{Field, Prog};
+    use mcnetkat_num::Ratio;
+
+    #[test]
+    fn prints_a_dtmc_module() {
+        let f = Field::named("pp_f");
+        let prog = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 2), Prog::assign(f, 2));
+        let auto = translate(&prog).unwrap();
+        let src = to_prism_source(&auto, &Packet::new());
+        assert!(src.starts_with("dtmc"));
+        assert!(src.contains("module net"));
+        assert!(src.contains("pc :"));
+        assert!(src.contains("pp_f :"));
+        assert!(src.contains("1/2"));
+        assert!(src.contains("endmodule"));
+    }
+
+    #[test]
+    fn property_mentions_exit_state() {
+        let f = Field::named("pp_g");
+        let auto = translate(&Prog::assign(f, 1)).unwrap();
+        let prop = to_property(&auto, &Pred::test(f, 1));
+        assert!(prop.contains(&format!("pc={}", auto.exit)));
+        assert!(prop.contains("pp_g=1"));
+    }
+
+    #[test]
+    fn variable_bounds_cover_all_values() {
+        let f = Field::named("pp_h");
+        let prog = Prog::ite(Pred::test(f, 7), Prog::assign(f, 3), Prog::skip());
+        let auto = translate(&prog).unwrap();
+        let src = to_prism_source(&auto, &Packet::new());
+        assert!(src.contains("pp_h : [0..7]"));
+    }
+}

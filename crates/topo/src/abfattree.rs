@@ -1,0 +1,84 @@
+//! AB FatTree generator (Liu et al.'s F10 topology, Figure 11a).
+
+use crate::{PodType, Topology};
+
+/// Builds a `p`-ary AB FatTree: the same switches as [`fattree`], but pods
+/// alternate between type A (conventional) and type B (staggered) core
+/// wiring. A core switch therefore connects to aggregation switches of
+/// *both* types, which is what makes 3-hop detours possible after an
+/// aggregation-layer failure (Appendix E).
+///
+/// # Panics
+///
+/// Panics if `p` is odd or less than 2.
+///
+/// # Examples
+///
+/// ```
+/// let t = mcnetkat_topo::ab_fattree(4);
+/// assert_eq!(t.switches().len(), 20);
+/// ```
+pub fn ab_fattree(p: usize) -> Topology {
+    crate::fattree::build(p, |pod| if pod % 2 == 0 { PodType::A } else { PodType::B })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fattree, Level};
+
+    #[test]
+    fn same_size_as_fattree() {
+        let a = fattree(4);
+        let b = ab_fattree(4);
+        assert_eq!(a.switches().len(), b.switches().len());
+    }
+
+    #[test]
+    fn pods_alternate_types() {
+        let t = ab_fattree(4);
+        for &s in t.switches() {
+            if let (Some(pod), Some(ty)) = (t.info(s).pod, t.info(s).pod_type) {
+                let expect = if pod % 2 == 0 { PodType::A } else { PodType::B };
+                assert_eq!(ty, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn cores_see_both_pod_types() {
+        // The defining property: every core switch is adjacent to
+        // aggregation switches of type A and of type B.
+        let t = ab_fattree(4);
+        for &s in t.switches() {
+            if t.info(s).level != Level::Core {
+                continue;
+            }
+            let types: std::collections::BTreeSet<_> = t
+                .ports(s)
+                .iter()
+                .filter_map(|pp| t.info(pp.peer).pod_type)
+                .map(|ty| format!("{ty:?}"))
+                .collect();
+            assert_eq!(types.len(), 2, "core {} is single-typed", t.info(s).name);
+        }
+    }
+
+    #[test]
+    fn plain_fattree_cores_see_one_type() {
+        // Contrast: in a standard FatTree every pod is type A.
+        let t = fattree(4);
+        for &s in t.switches() {
+            if t.info(s).level != Level::Core {
+                continue;
+            }
+            let types: std::collections::BTreeSet<_> = t
+                .ports(s)
+                .iter()
+                .filter_map(|pp| t.info(pp.peer).pod_type)
+                .map(|ty| format!("{ty:?}"))
+                .collect();
+            assert_eq!(types.len(), 1);
+        }
+    }
+}

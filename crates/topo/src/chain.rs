@@ -1,0 +1,95 @@
+//! The Bayonet "chain of diamonds" topology (Figure 9), used for the
+//! cross-tool comparison of Figure 10.
+
+use crate::{Level, NodeId, Topology};
+
+/// Builds a chain of `k` diamonds with hosts `H1` and `H2` at the ends.
+///
+/// Each diamond has switches `S(4i)…S(4i+3)`: `S(4i)` forwards to `S(4i+1)`
+/// (upper) and `S(4i+2)` (lower) which both forward to `S(4i+3)`; the link
+/// `S(4i+2) → S(4i+3)` is the one that fails with probability `pfail` in
+/// the benchmark's failure model.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let t = mcnetkat_topo::chain(2);
+/// assert_eq!(t.switches().len(), 8);
+/// assert_eq!(t.hosts().len(), 2);
+/// ```
+pub fn chain(k: usize) -> Topology {
+    assert!(k > 0, "chain needs at least one diamond");
+    let mut t = Topology::new();
+    let switches: Vec<NodeId> = (0..4 * k)
+        .map(|i| t.add_switch(&format!("S{i}"), Level::Plain))
+        .collect();
+    let h1 = t.add_host("H1");
+    let h2 = t.add_host("H2");
+    t.link(h1, switches[0]);
+    for d in 0..k {
+        let s0 = switches[4 * d];
+        let s1 = switches[4 * d + 1];
+        let s2 = switches[4 * d + 2];
+        let s3 = switches[4 * d + 3];
+        t.link(s0, s1);
+        t.link(s0, s2);
+        t.link(s1, s3);
+        t.link(s2, s3);
+        if d + 1 < k {
+            t.link(s3, switches[4 * (d + 1)]);
+        }
+    }
+    t.link(switches[4 * k - 1], h2);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_scale_with_k() {
+        for k in 1..5 {
+            let t = chain(k);
+            assert_eq!(t.switches().len(), 4 * k);
+            assert_eq!(t.hosts().len(), 2);
+        }
+    }
+
+    #[test]
+    fn diamond_connectivity() {
+        let t = chain(1);
+        let s0 = t.find("S0").unwrap();
+        let s1 = t.find("S1").unwrap();
+        let s2 = t.find("S2").unwrap();
+        let s3 = t.find("S3").unwrap();
+        assert!(t.port_towards(s0, s1).is_some());
+        assert!(t.port_towards(s0, s2).is_some());
+        assert!(t.port_towards(s1, s3).is_some());
+        assert!(t.port_towards(s2, s3).is_some());
+        assert!(t.port_towards(s0, s3).is_none());
+    }
+
+    #[test]
+    fn diamonds_are_chained() {
+        let t = chain(3);
+        for d in 0..2 {
+            let tail = t.find(&format!("S{}", 4 * d + 3)).unwrap();
+            let head = t.find(&format!("S{}", 4 * (d + 1))).unwrap();
+            assert!(t.port_towards(tail, head).is_some(), "diamond {d}");
+        }
+    }
+
+    #[test]
+    fn hosts_cap_the_ends() {
+        let t = chain(2);
+        let h1 = t.find("H1").unwrap();
+        let h2 = t.find("H2").unwrap();
+        assert!(t.port_towards(h1, t.find("S0").unwrap()).is_some());
+        assert!(t.port_towards(h2, t.find("S7").unwrap()).is_some());
+    }
+}

@@ -1,0 +1,231 @@
+//! Graphviz (DOT) reading and writing.
+//!
+//! McNetKAT "generates programs automatically from network topologies
+//! encoded using Graphviz" (§5); this module implements the dialect the
+//! generators emit: an undirected graph whose edges carry `src_port` and
+//! `dst_port` attributes, with node `level` attributes.
+
+use crate::{Level, NodeInfo, Topology};
+use std::fmt;
+
+/// Error returned when DOT parsing fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotError {
+    /// Line number (1-based) of the offending input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for DotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DOT parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DotError {}
+
+fn level_name(level: Level) -> &'static str {
+    match level {
+        Level::Host => "host",
+        Level::Edge => "edge",
+        Level::Agg => "agg",
+        Level::Core => "core",
+        Level::Plain => "plain",
+    }
+}
+
+fn level_of(name: &str) -> Option<Level> {
+    Some(match name {
+        "host" => Level::Host,
+        "edge" => Level::Edge,
+        "agg" => Level::Agg,
+        "core" => Level::Core,
+        "plain" => Level::Plain,
+        _ => return None,
+    })
+}
+
+/// Renders a topology in the DOT dialect accepted by [`parse_dot`].
+pub fn to_dot(topo: &Topology) -> String {
+    let mut out = String::from("graph topology {\n");
+    for n in topo.nodes() {
+        let info = topo.info(n);
+        out.push_str(&format!(
+            "  {} [level={}];\n",
+            info.name,
+            level_name(info.level)
+        ));
+    }
+    // Each undirected link once: emit from the lower node id.
+    for n in topo.nodes() {
+        for pp in topo.ports(n) {
+            if pp.peer.0 > n.0 || (pp.peer.0 == n.0 && false) {
+                out.push_str(&format!(
+                    "  {} -- {} [src_port={}, dst_port={}];\n",
+                    topo.info(n).name,
+                    topo.info(pp.peer).name,
+                    pp.port,
+                    pp.peer_port
+                ));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the DOT dialect produced by [`to_dot`].
+///
+/// # Errors
+///
+/// Returns a [`DotError`] describing the first malformed line.
+pub fn parse_dot(src: &str) -> Result<Topology, DotError> {
+    let mut topo = Topology::new();
+    for (ix, raw) in src.lines().enumerate() {
+        let lineno = ix + 1;
+        let line = raw.trim().trim_end_matches(';');
+        if line.is_empty()
+            || line.starts_with("graph")
+            || line.starts_with('}')
+            || line.starts_with("//")
+        {
+            continue;
+        }
+        let err = |message: String| DotError {
+            line: lineno,
+            message,
+        };
+        if let Some((endpoints, attrs)) = split_decl(line) {
+            if let Some((a, b)) = endpoints.split_once("--") {
+                // Edge declaration.
+                let a = a.trim();
+                let b = b.trim();
+                let na = topo
+                    .find(a)
+                    .ok_or_else(|| err(format!("unknown node `{a}`")))?;
+                let nb = topo
+                    .find(b)
+                    .ok_or_else(|| err(format!("unknown node `{b}`")))?;
+                let src_port = attr_u32(&attrs, "src_port")
+                    .ok_or_else(|| err("missing src_port".into()))?;
+                let dst_port = attr_u32(&attrs, "dst_port")
+                    .ok_or_else(|| err("missing dst_port".into()))?;
+                topo.link_ports(na, src_port, nb, dst_port);
+            } else {
+                // Node declaration.
+                let name = endpoints.trim();
+                let level = match attr_str(&attrs, "level") {
+                    Some(l) => level_of(&l)
+                        .ok_or_else(|| err(format!("unknown level `{l}`")))?,
+                    None => Level::Plain,
+                };
+                topo.add_node(NodeInfo {
+                    name: name.to_owned(),
+                    level,
+                    pod: None,
+                    pod_type: None,
+                });
+            }
+        } else {
+            return Err(err(format!("cannot parse `{line}`")));
+        }
+    }
+    Ok(topo)
+}
+
+/// Splits `lhs [k=v, …]` into the left-hand side and attribute pairs.
+fn split_decl(line: &str) -> Option<(String, Vec<(String, String)>)> {
+    match line.split_once('[') {
+        None => Some((line.to_owned(), Vec::new())),
+        Some((lhs, rest)) => {
+            let attrs_src = rest.strip_suffix(']')?;
+            let attrs = attrs_src
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|pair| {
+                    let (k, v) = pair.split_once('=')?;
+                    Some((k.trim().to_owned(), v.trim().trim_matches('"').to_owned()))
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some((lhs.trim().to_owned(), attrs))
+        }
+    }
+}
+
+fn attr_str(attrs: &[(String, String)], key: &str) -> Option<String> {
+    attrs
+        .iter()
+        .find_map(|(k, v)| (k == key).then(|| v.clone()))
+}
+
+fn attr_u32(attrs: &[(String, String)], key: &str) -> Option<u32> {
+    attr_str(attrs, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ab_fattree, chain, fattree};
+
+    fn round_trip(t: &Topology) {
+        let dot = to_dot(t);
+        let back = parse_dot(&dot).expect("round trip parse");
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.switches().len(), t.switches().len());
+        for n in t.nodes() {
+            let m = back.find(&t.info(n).name).expect("node preserved");
+            assert_eq!(back.ports(m).len(), t.ports(n).len());
+            for pp in t.ports(n) {
+                let (peer, peer_port) = back.neighbor(m, pp.port).expect("port preserved");
+                assert_eq!(back.info(peer).name, t.info(pp.peer).name);
+                assert_eq!(peer_port, pp.peer_port);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_generators() {
+        round_trip(&chain(2));
+        round_trip(&fattree(4));
+        round_trip(&ab_fattree(4));
+    }
+
+    #[test]
+    fn parses_minimal_graph() {
+        let src = r#"
+            graph g {
+              a [level=edge];
+              b [level=core];
+              a -- b [src_port=1, dst_port=2];
+            }
+        "#;
+        let t = parse_dot(src).unwrap();
+        assert_eq!(t.len(), 2);
+        let a = t.find("a").unwrap();
+        let b = t.find("b").unwrap();
+        assert_eq!(t.neighbor(a, 1), Some((b, 2)));
+        assert_eq!(t.info(a).level, Level::Edge);
+    }
+
+    #[test]
+    fn reports_unknown_node() {
+        let src = "a [level=edge];\na -- missing [src_port=1, dst_port=1];";
+        let err = parse_dot(src).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("missing"));
+    }
+
+    #[test]
+    fn reports_missing_ports() {
+        let src = "a;\nb;\na -- b;";
+        let err = parse_dot(src).unwrap_err();
+        assert!(err.message.contains("src_port"));
+    }
+
+    #[test]
+    fn nodes_default_to_plain() {
+        let t = parse_dot("x;").unwrap();
+        assert_eq!(t.info(t.find("x").unwrap()).level, Level::Plain);
+    }
+}

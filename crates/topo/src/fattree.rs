@@ -1,0 +1,131 @@
+//! FatTree generator (Al-Fares et al., Figure 6 of the paper).
+
+use crate::{Level, NodeId, PodType, Topology};
+
+/// Builds a `p`-ary FatTree: `p` pods of `p/2` edge and `p/2` aggregation
+/// switches, plus `(p/2)²` core switches — `(5/4)p²` switches total.
+///
+/// Hosts are omitted (the network model's `in`/`out` predicates play that
+/// role), matching the paper's switch-level models.
+///
+/// # Panics
+///
+/// Panics if `p` is odd or less than 2.
+///
+/// # Examples
+///
+/// ```
+/// let t = mcnetkat_topo::fattree(4);
+/// assert_eq!(t.switches().len(), 20);
+/// ```
+pub fn fattree(p: usize) -> Topology {
+    build(p, |_| PodType::A)
+}
+
+/// Shared construction for FatTree and AB FatTree: `pod_type` picks each
+/// pod's core wiring.
+pub(crate) fn build(p: usize, pod_type: impl Fn(usize) -> PodType) -> Topology {
+    assert!(p >= 2 && p % 2 == 0, "FatTree arity must be even, got {p}");
+    let half = p / 2;
+    let mut t = Topology::new();
+
+    // Core switches: (p/2)^2, viewed as `half` groups of `half`.
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|i| t.add_switch(&format!("core{i}"), Level::Core))
+        .collect();
+
+    // Pods of edge + aggregation switches.
+    let mut edges = Vec::new();
+    let mut aggs = Vec::new();
+    for pod in 0..p {
+        let ty = pod_type(pod);
+        for i in 0..half {
+            let e = t.add_switch(&format!("edge{pod}_{i}"), Level::Edge);
+            let info = t.info_mut(e);
+            info.pod = Some(pod);
+            info.pod_type = Some(ty);
+            edges.push(e);
+        }
+        for i in 0..half {
+            let a = t.add_switch(&format!("agg{pod}_{i}"), Level::Agg);
+            let info = t.info_mut(a);
+            info.pod = Some(pod);
+            info.pod_type = Some(ty);
+            aggs.push(a);
+        }
+        // Full bipartite edge ↔ aggregation within the pod.
+        for i in 0..half {
+            for j in 0..half {
+                let e = edges[pod * half + i];
+                let a = aggs[pod * half + j];
+                t.link(e, a);
+            }
+        }
+        // Aggregation ↔ core.
+        for i in 0..half {
+            let a = aggs[pod * half + i];
+            for j in 0..half {
+                let core = match ty {
+                    // Type A: agg i connects to core group i.
+                    PodType::A => cores[i * half + j],
+                    // Type B: agg i connects to the i-th member of each
+                    // group (staggered — this is Liu et al.'s rewiring).
+                    PodType::B => cores[j * half + i],
+                };
+                t.link(a, core);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_count_formula() {
+        for p in [2usize, 4, 6, 8] {
+            let t = fattree(p);
+            assert_eq!(t.switches().len(), 5 * p * p / 4, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn degrees_are_p() {
+        // In a p-ary FatTree every aggregation switch has p links
+        // (p/2 down, p/2 up); edge switches have p/2 switch-level links.
+        let p = 4;
+        let t = fattree(p);
+        for &s in t.switches() {
+            match t.info(s).level {
+                Level::Agg => assert_eq!(t.ports(s).len(), p),
+                Level::Edge => assert_eq!(t.ports(s).len(), p / 2),
+                Level::Core => assert_eq!(t.ports(s).len(), p),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn cores_reach_every_pod_once() {
+        let t = fattree(4);
+        for &s in t.switches() {
+            if t.info(s).level != Level::Core {
+                continue;
+            }
+            let mut pods: Vec<usize> = t
+                .ports(s)
+                .iter()
+                .filter_map(|pp| t.info(pp.peer).pod)
+                .collect();
+            pods.sort_unstable();
+            assert_eq!(pods, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn odd_arity_panics() {
+        assert!(std::panic::catch_unwind(|| fattree(3)).is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! The topology graph: switches and hosts connected by bidirectional links
+//! with per-node port numbers.
+
+use std::fmt;
+
+/// Index of a node within a [`Topology`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// The level of a node in a (AB-)FatTree, used by routing schemes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Level {
+    /// An end host.
+    Host,
+    /// A top-of-rack (edge) switch.
+    Edge,
+    /// An aggregation switch.
+    Agg,
+    /// A core switch.
+    Core,
+    /// A switch in a topology without levels (e.g. the chain).
+    Plain,
+}
+
+/// The wiring type of a FatTree pod (Liu et al.'s A/B subtrees).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PodType {
+    /// Conventional wiring.
+    A,
+    /// Staggered wiring (AB FatTree only).
+    B,
+}
+
+/// Metadata attached to a topology node.
+#[derive(Clone, Debug)]
+pub struct NodeInfo {
+    /// Human-readable name (also the DOT node id).
+    pub name: String,
+    /// Level in the fabric.
+    pub level: Level,
+    /// Pod index for edge/aggregation switches.
+    pub pod: Option<usize>,
+    /// Pod wiring type for edge/aggregation switches in an AB FatTree.
+    pub pod_type: Option<PodType>,
+}
+
+/// A link endpoint: the local port and the remote `(node, port)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PortPeer {
+    /// Local port number (1-based, unique per node).
+    pub port: u32,
+    /// The node on the far end.
+    pub peer: NodeId,
+    /// The far end's port number.
+    pub peer_port: u32,
+}
+
+/// An undirected network topology with numbered ports.
+///
+/// # Examples
+///
+/// ```
+/// use mcnetkat_topo::{Level, Topology};
+/// let mut t = Topology::new();
+/// let a = t.add_switch("s1", Level::Plain);
+/// let b = t.add_switch("s2", Level::Plain);
+/// let (pa, pb) = t.link(a, b);
+/// assert_eq!(t.neighbor(a, pa), Some((b, pb)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    nodes: Vec<NodeInfo>,
+    adjacency: Vec<Vec<PortPeer>>,
+    hosts: Vec<NodeId>,
+    switches: Vec<NodeId>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds a switch with the given name and level.
+    pub fn add_switch(&mut self, name: &str, level: Level) -> NodeId {
+        self.add_node(NodeInfo {
+            name: name.to_owned(),
+            level,
+            pod: None,
+            pod_type: None,
+        })
+    }
+
+    /// Adds a host.
+    pub fn add_host(&mut self, name: &str) -> NodeId {
+        self.add_node(NodeInfo {
+            name: name.to_owned(),
+            level: Level::Host,
+            pod: None,
+            pod_type: None,
+        })
+    }
+
+    /// Adds a node with full metadata.
+    pub fn add_node(&mut self, info: NodeInfo) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let is_host = matches!(info.level, Level::Host);
+        self.nodes.push(info);
+        self.adjacency.push(Vec::new());
+        if is_host {
+            self.hosts.push(id);
+        } else {
+            self.switches.push(id);
+        }
+        id
+    }
+
+    /// Connects `a` and `b`, assigning the next free port on each side.
+    /// Returns `(port_on_a, port_on_b)`.
+    pub fn link(&mut self, a: NodeId, b: NodeId) -> (u32, u32) {
+        let pa = self.adjacency[a.0].len() as u32 + 1;
+        let pb = self.adjacency[b.0].len() as u32 + 1;
+        self.link_ports(a, pa, b, pb);
+        (pa, pb)
+    }
+
+    /// Connects `a:pa` to `b:pb` with explicit port numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port is already in use.
+    pub fn link_ports(&mut self, a: NodeId, pa: u32, b: NodeId, pb: u32) {
+        assert!(
+            self.neighbor(a, pa).is_none(),
+            "port {pa} on {} already wired",
+            self.nodes[a.0].name
+        );
+        assert!(
+            self.neighbor(b, pb).is_none(),
+            "port {pb} on {} already wired",
+            self.nodes[b.0].name
+        );
+        self.adjacency[a.0].push(PortPeer {
+            port: pa,
+            peer: b,
+            peer_port: pb,
+        });
+        self.adjacency[b.0].push(PortPeer {
+            port: pb,
+            peer: a,
+            peer_port: pa,
+        });
+    }
+
+    /// Node metadata.
+    pub fn info(&self, n: NodeId) -> &NodeInfo {
+        &self.nodes[n.0]
+    }
+
+    /// Mutable node metadata (used by generators to set pod info).
+    pub fn info_mut(&mut self, n: NodeId) -> &mut NodeInfo {
+        &mut self.nodes[n.0]
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// All switches, in id order.
+    pub fn switches(&self) -> &[NodeId] {
+        &self.switches
+    }
+
+    /// All hosts, in id order.
+    pub fn hosts(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The links of `n` as `(port, peer, peer_port)` entries.
+    pub fn ports(&self, n: NodeId) -> &[PortPeer] {
+        &self.adjacency[n.0]
+    }
+
+    /// The `(peer, peer_port)` on the far side of `n:port`, if wired.
+    pub fn neighbor(&self, n: NodeId, port: u32) -> Option<(NodeId, u32)> {
+        self.adjacency[n.0]
+            .iter()
+            .find(|pp| pp.port == port)
+            .map(|pp| (pp.peer, pp.peer_port))
+    }
+
+    /// The port of `n` facing `m`, if any.
+    pub fn port_towards(&self, n: NodeId, m: NodeId) -> Option<u32> {
+        self.adjacency[n.0]
+            .iter()
+            .find(|pp| pp.peer == m)
+            .map(|pp| pp.port)
+    }
+
+    /// The maximum degree over all nodes (the `d` of §7's failure model).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Looks up a node by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|i| i.name == name)
+            .map(NodeId)
+    }
+
+    /// The ProbNetKAT switch number for a node (1-based node id).
+    ///
+    /// Switch numbering is stable: `sw = id + 1` so that 0 stays reserved
+    /// as the canonical "unset" value.
+    pub fn sw_value(&self, n: NodeId) -> u32 {
+        n.0 as u32 + 1
+    }
+
+    /// Inverse of [`Topology::sw_value`].
+    pub fn node_of_sw(&self, sw: u32) -> Option<NodeId> {
+        let ix = sw.checked_sub(1)? as usize;
+        (ix < self.nodes.len()).then_some(NodeId(ix))
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "topology: {} switches, {} hosts",
+            self.switches.len(),
+            self.hosts.len()
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linking_assigns_sequential_ports() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a", Level::Plain);
+        let b = t.add_switch("b", Level::Plain);
+        let c = t.add_switch("c", Level::Plain);
+        let (p1, _) = t.link(a, b);
+        let (p2, _) = t.link(a, c);
+        assert_eq!((p1, p2), (1, 2));
+        assert_eq!(t.neighbor(a, 1), Some((b, 1)));
+        assert_eq!(t.neighbor(a, 2), Some((c, 1)));
+        assert_eq!(t.port_towards(c, a), Some(1));
+    }
+
+    #[test]
+    fn explicit_ports_reject_conflicts() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a", Level::Plain);
+        let b = t.add_switch("b", Level::Plain);
+        let c = t.add_switch("c", Level::Plain);
+        t.link_ports(a, 5, b, 1);
+        let clash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut t2 = t.clone();
+            t2.link_ports(a, 5, c, 1);
+        }));
+        assert!(clash.is_err());
+    }
+
+    #[test]
+    fn hosts_and_switches_are_partitioned() {
+        let mut t = Topology::new();
+        let s = t.add_switch("s", Level::Edge);
+        let h = t.add_host("h");
+        assert_eq!(t.switches(), &[s]);
+        assert_eq!(t.hosts(), &[h]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn sw_values_round_trip() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a", Level::Plain);
+        assert_eq!(t.sw_value(a), 1);
+        assert_eq!(t.node_of_sw(1), Some(a));
+        assert_eq!(t.node_of_sw(0), None);
+        assert_eq!(t.node_of_sw(99), None);
+    }
+
+    #[test]
+    fn max_degree_tracks_links() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a", Level::Plain);
+        let b = t.add_switch("b", Level::Plain);
+        let c = t.add_switch("c", Level::Plain);
+        t.link(a, b);
+        t.link(a, c);
+        assert_eq!(t.max_degree(), 2);
+    }
+}

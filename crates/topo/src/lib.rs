@@ -1,0 +1,17 @@
+//! Network topologies for McNetKAT: graphs, Graphviz (DOT) I/O, and the
+//! generators used in the paper's evaluation — FatTree (§6, Figure 6),
+//! AB FatTree (§7, Figure 11a), and the Bayonet chain topology (Figure 9).
+
+mod abfattree;
+mod chain;
+mod dot;
+mod fattree;
+mod graph;
+mod paths;
+
+pub use abfattree::ab_fattree;
+pub use chain::chain;
+pub use dot::{parse_dot, to_dot, DotError};
+pub use fattree::fattree;
+pub use graph::{Level, NodeId, NodeInfo, PodType, Topology};
+pub use paths::ShortestPaths;

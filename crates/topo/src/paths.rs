@@ -1,0 +1,134 @@
+//! All-shortest-paths computation towards a destination, the substrate for
+//! ECMP-style routing (§6).
+
+use crate::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Shortest-path information towards a fixed destination node.
+///
+/// # Examples
+///
+/// ```
+/// use mcnetkat_topo::{chain, ShortestPaths};
+/// let t = chain(1);
+/// let dst = t.find("S3").unwrap();
+/// let sp = ShortestPaths::towards(&t, dst);
+/// let s0 = t.find("S0").unwrap();
+/// assert_eq!(sp.distance(s0), Some(2));
+/// assert_eq!(sp.next_hop_ports_in(&t, s0).len(), 2); // via S1 or S2 — ECMP
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    dst: NodeId,
+    dist: Vec<Option<u32>>,
+}
+
+impl ShortestPaths {
+    /// BFS from `dst` over the undirected topology.
+    pub fn towards(topo: &Topology, dst: NodeId) -> ShortestPaths {
+        let mut dist: Vec<Option<u32>> = vec![None; topo.len()];
+        dist[dst.0] = Some(0);
+        let mut queue = VecDeque::from([dst]);
+        while let Some(n) = queue.pop_front() {
+            let d = dist[n.0].unwrap();
+            for pp in topo.ports(n) {
+                if dist[pp.peer.0].is_none() {
+                    dist[pp.peer.0] = Some(d + 1);
+                    queue.push_back(pp.peer);
+                }
+            }
+        }
+        ShortestPaths { dst, dist }
+    }
+
+    /// The destination these paths lead to.
+    pub fn destination(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Hop distance from `n` to the destination (`None` if disconnected).
+    pub fn distance(&self, n: NodeId) -> Option<u32> {
+        self.dist[n.0]
+    }
+
+    /// The ports of `n` that lie on *some* shortest path to the
+    /// destination — the ECMP port set.
+    pub fn next_hop_ports_in(&self, topo: &Topology, n: NodeId) -> Vec<u32> {
+        let Some(d) = self.dist[n.0] else {
+            return Vec::new();
+        };
+        topo.ports(n)
+            .iter()
+            .filter(|pp| self.dist[pp.peer.0] == Some(d.saturating_sub(1)) && d > 0)
+            .map(|pp| pp.port)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chain, fattree, Level};
+
+    #[test]
+    fn distances_in_chain() {
+        let t = chain(2);
+        let dst = t.find("H2").unwrap();
+        let sp = ShortestPaths::towards(&t, dst);
+        assert_eq!(sp.distance(dst), Some(0));
+        assert_eq!(sp.distance(t.find("S7").unwrap()), Some(1));
+        assert_eq!(sp.distance(t.find("S0").unwrap()), Some(6));
+        assert_eq!(sp.distance(t.find("H1").unwrap()), Some(7));
+    }
+
+    #[test]
+    fn ecmp_ports_split_at_diamond_heads() {
+        let t = chain(1);
+        let sp = ShortestPaths::towards(&t, t.find("H2").unwrap());
+        let s0 = t.find("S0").unwrap();
+        let ports = sp.next_hop_ports_in(&t, s0);
+        assert_eq!(ports.len(), 2);
+        let s1 = t.find("S1").unwrap();
+        assert_eq!(sp.next_hop_ports_in(&t, s1).len(), 1);
+    }
+
+    #[test]
+    fn fattree_edge_to_edge_distance_is_four_across_pods(){
+        let t = fattree(4);
+        let e0 = t.find("edge0_0").unwrap();
+        let e2 = t.find("edge2_0").unwrap();
+        let sp = ShortestPaths::towards(&t, e0);
+        assert_eq!(sp.distance(e2), Some(4)); // edge-agg-core-agg-edge
+        // Within a pod: 2 hops via aggregation.
+        let e0b = t.find("edge0_1").unwrap();
+        assert_eq!(sp.distance(e0b), Some(2));
+    }
+
+    #[test]
+    fn ecmp_width_matches_fattree_multipath() {
+        let t = fattree(4);
+        let dst = t.find("edge0_0").unwrap();
+        let sp = ShortestPaths::towards(&t, dst);
+        // From an edge switch in another pod, both aggregation switches
+        // lie on shortest paths.
+        let e = t.find("edge1_0").unwrap();
+        assert_eq!(sp.next_hop_ports_in(&t, e).len(), 2);
+        // A core switch has exactly one downward shortest path.
+        let cores: Vec<_> = t
+            .switches()
+            .iter()
+            .filter(|&&s| t.info(s).level == Level::Core)
+            .collect();
+        for &&c in &cores {
+            assert_eq!(sp.next_hop_ports_in(&t, c).len(), 1);
+        }
+    }
+
+    #[test]
+    fn destination_has_no_next_hops() {
+        let t = chain(1);
+        let dst = t.find("S3").unwrap();
+        let sp = ShortestPaths::towards(&t, dst);
+        assert!(sp.next_hop_ports_in(&t, dst).is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: write a small probabilistic program, compile it to its
+//! big-step stochastic-matrix representation, and ask questions.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mcnetkat::core::{Field, Packet, Pred, Prog};
+use mcnetkat::fdd::Manager;
+use mcnetkat::num::Ratio;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A coin-flipping loop: while f = 0, set f to 1 with probability ½.
+    let f = Field::named("f");
+    let body = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 2), Prog::skip());
+    let lossy_loop = Prog::while_(Pred::test(f, 0), body);
+
+    // Compile to a probabilistic FDD. The loop is solved in *closed form*
+    // via an absorbing Markov chain — no unrolling, no approximation.
+    let mgr = Manager::new();
+    let fdd = mgr.compile(&lossy_loop)?;
+
+    let input = Packet::new(); // f = 0
+    println!("program : {lossy_loop}");
+    println!("P[deliver] on f=0 : {}", mgr.prob_delivery(fdd, &input));
+    println!("output dist       : {:?}", mgr.output_dist(fdd, &input));
+
+    // Program equivalence is decidable (Corollary 3.2): the loop is
+    // equivalent to the straight-line program `f <- 1` on every input.
+    let spec = Prog::ite(Pred::test(f, 0), Prog::assign(f, 1), Prog::skip());
+    let spec_fdd = mgr.compile(&spec)?;
+    println!("loop ≡ (if f=0 then f<-1) : {}", mgr.equiv(fdd, spec_fdd));
+
+    // Refinement: a program that sometimes drops is strictly below one
+    // that always delivers.
+    let flaky = Prog::ite(
+        Pred::test(f, 0),
+        Prog::choice2(Prog::assign(f, 1), Ratio::new(9, 10), Prog::drop()),
+        Prog::skip(),
+    );
+    let flaky_fdd = mgr.compile(&flaky)?;
+    println!("flaky < loop : {}", mgr.less(flaky_fdd, fdd));
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! McNetKAT: scalable verification of probabilistic networks, in Rust.
+//!
+//! This facade crate re-exports the workspace members. See the README for an
+//! architecture overview and `DESIGN.md` for the system inventory.
+pub use mcnetkat_baseline as baseline;
+pub use mcnetkat_core as core;
+pub use mcnetkat_fdd as fdd;
+pub use mcnetkat_linalg as linalg;
+pub use mcnetkat_net as net;
+pub use mcnetkat_num as num;
+pub use mcnetkat_prism as prism;
+pub use mcnetkat_topo as topo;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        // One symbol per subsystem, so a broken re-export fails to build.
+        let _ = crate::num::Ratio::new(1, 2);
+        let _ = crate::core::Prog::skip();
+        let _ = crate::linalg::SolverBackend::SparseLu;
+        let _ = crate::fdd::Manager::new();
+        let _ = crate::topo::chain(1);
+        let _ = crate::prism::McMode::Exact;
+        let _ = crate::baseline::ExactInference::default();
+        let _ = crate::net::FailureModel::none();
+    }
+}

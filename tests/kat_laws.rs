@@ -1,0 +1,178 @@
+//! The (Prob)NetKAT equational laws, checked semantically on the FDD
+//! backend with randomly generated guarded programs. These are the
+//! axioms the paper's §2 equational reasoning relies on.
+
+use mcnetkat::core::{Field, Pred, Prog};
+use mcnetkat::fdd::Manager;
+use mcnetkat::num::Ratio;
+use proptest::prelude::*;
+
+fn fields() -> Vec<Field> {
+    vec![Field::named("kl_a"), Field::named("kl_b")]
+}
+
+fn arb_pred() -> BoxedStrategy<Pred> {
+    let leaf = prop_oneof![
+        Just(Pred::t()),
+        Just(Pred::f()),
+        (0..2usize, 0..3u32).prop_map(|(f, v)| Pred::test(fields()[f], v)),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            inner.prop_map(Pred::not),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_prog() -> BoxedStrategy<Prog> {
+    let leaf = prop_oneof![
+        Just(Prog::skip()),
+        Just(Prog::drop()),
+        (0..2usize, 0..3u32).prop_map(|(f, v)| Prog::assign(fields()[f], v)),
+        arb_pred().prop_map(Prog::filter),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| p.seq(q)),
+            (inner.clone(), 1..4i64, inner.clone())
+                .prop_map(|(p, n, q)| Prog::choice2(p, Ratio::new(n, 4), q)),
+            (arb_pred(), inner.clone(), inner.clone())
+                .prop_map(|(t, p, q)| Prog::ite(t, p, q)),
+        ]
+    })
+    .boxed()
+}
+
+fn equiv(a: &Prog, b: &Prog) -> bool {
+    let mgr = Manager::new();
+    let fa = mgr.compile(a).expect("compiles");
+    let fb = mgr.compile(b).expect("compiles");
+    mgr.equiv(fa, fb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequencing is associative: (p;q);r ≡ p;(q;r).
+    #[test]
+    fn seq_associative(p in arb_prog(), q in arb_prog(), r in arb_prog()) {
+        prop_assert!(equiv(
+            &p.clone().seq(q.clone()).seq(r.clone()),
+            &p.seq(q.seq(r)),
+        ));
+    }
+
+    /// skip is a two-sided unit; drop is a two-sided annihilator.
+    #[test]
+    fn seq_units(p in arb_prog()) {
+        prop_assert!(equiv(&Prog::skip().seq(p.clone()), &p));
+        prop_assert!(equiv(&p.clone().seq(Prog::skip()), &p));
+        prop_assert!(equiv(&Prog::drop().seq(p.clone()), &Prog::drop()));
+        prop_assert!(equiv(&p.seq(Prog::drop()), &Prog::drop()));
+    }
+
+    /// Probabilistic choice: p ⊕r q ≡ q ⊕(1−r) p, and p ⊕r p ≡ p.
+    #[test]
+    fn choice_laws(p in arb_prog(), q in arb_prog(), n in 0..=4i64) {
+        let r = Ratio::new(n, 4);
+        let comp = Ratio::one() - &r;
+        prop_assert!(equiv(
+            &Prog::choice2(p.clone(), r.clone(), q.clone()),
+            &Prog::choice2(q, comp, p.clone()),
+        ));
+        prop_assert!(equiv(&Prog::choice2(p.clone(), r, p.clone()), &p));
+    }
+
+    /// Choice distributes over sequencing on the left:
+    /// (p ⊕r q) ; s ≡ (p;s) ⊕r (q;s).
+    #[test]
+    fn choice_left_distributes(p in arb_prog(), q in arb_prog(), s in arb_prog(), n in 1..4i64) {
+        let r = Ratio::new(n, 4);
+        prop_assert!(equiv(
+            &Prog::choice2(p.clone(), r.clone(), q.clone()).seq(s.clone()),
+            &Prog::choice2(p.seq(s.clone()), r, q.seq(s)),
+        ));
+    }
+
+    /// Conditionals: if t then p else p ≡ p, and branch selection works.
+    #[test]
+    fn conditional_laws(t in arb_pred(), p in arb_prog(), q in arb_prog()) {
+        prop_assert!(equiv(&Prog::ite(t.clone(), p.clone(), p.clone()), &p));
+        // if t then p else q ≡ if ¬t then q else p
+        prop_assert!(equiv(
+            &Prog::ite(t.clone(), p.clone(), q.clone()),
+            &Prog::ite(t.not(), q, p),
+        ));
+    }
+
+    /// Guarding: t ; (if t then p else q) ≡ t ; p.
+    #[test]
+    fn guard_absorption(t in arb_pred(), p in arb_prog(), q in arb_prog()) {
+        prop_assert!(equiv(
+            &Prog::filter(t.clone()).seq(Prog::ite(t.clone(), p.clone(), q)),
+            &Prog::filter(t).seq(p),
+        ));
+    }
+
+    /// Predicates form a Boolean algebra under the embedding:
+    /// filters commute and are idempotent.
+    #[test]
+    fn filter_laws(t in arb_pred(), u in arb_pred()) {
+        let ft = Prog::filter(t.clone());
+        let fu = Prog::filter(u.clone());
+        prop_assert!(equiv(&ft.clone().seq(fu.clone()), &fu.clone().seq(ft.clone())));
+        prop_assert!(equiv(&ft.clone().seq(ft.clone()), &ft));
+        // t ; ¬t ≡ drop
+        prop_assert!(equiv(
+            &Prog::filter(t.clone()).seq(Prog::filter(t.not())),
+            &Prog::drop(),
+        ));
+    }
+
+    /// Assignments: f<-m ; f<-n ≡ f<-n and f<-n ; f=n ≡ f<-n.
+    #[test]
+    fn assignment_laws(fi in 0..2usize, m in 0..3u32, n in 0..3u32) {
+        let f = fields()[fi];
+        prop_assert!(equiv(
+            &Prog::assign(f, m).seq(Prog::assign(f, n)),
+            &Prog::assign(f, n),
+        ));
+        prop_assert!(equiv(
+            &Prog::assign(f, n).seq(Prog::test(f, n)),
+            &Prog::assign(f, n),
+        ));
+        // Distinct fields commute.
+        let g = fields()[1 - fi];
+        prop_assert!(equiv(
+            &Prog::assign(f, m).seq(Prog::assign(g, n)),
+            &Prog::assign(g, n).seq(Prog::assign(f, m)),
+        ));
+    }
+
+    /// while t do p ≡ if t then (p ; while t do p) else skip — the
+    /// characteristic unrolling, on programs whose loops are built from
+    /// loop-free bodies.
+    #[test]
+    fn while_unrolling(t in arb_pred(), body in arb_prog()) {
+        let w = Prog::while_(t.clone(), body.clone());
+        let unrolled = Prog::ite(t, body.seq(w.clone()), Prog::skip());
+        prop_assert!(equiv(&w, &unrolled));
+    }
+
+    /// Refinement is a partial order compatible with ⊕.
+    #[test]
+    fn refinement_compatible_with_choice(p in arb_prog(), q in arb_prog()) {
+        let mgr = Manager::new();
+        let fp = mgr.compile(&p).unwrap();
+        let fq = mgr.compile(&q).unwrap();
+        let mix = mgr.compile(&Prog::choice2(p.clone(), Ratio::new(1, 2), q.clone())).unwrap();
+        if mgr.less_eq(fp, fq) {
+            // p ≤ q ⟹ p ≤ p⊕q ≤ q pointwise on delivered outputs.
+            prop_assert!(mgr.less_eq(fp, mix));
+            prop_assert!(mgr.less_eq(mix, fq));
+        }
+    }
+}
