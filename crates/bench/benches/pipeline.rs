@@ -21,16 +21,12 @@ fn bench_fattree_compile(c: &mut Criterion) {
             ("f1000", FailureModel::independent(Ratio::new(1, 1000))),
         ] {
             let model = NetworkModel::new(topo.clone(), dst, RoutingScheme::Ecmp, failure);
-            group.bench_with_input(
-                BenchmarkId::new(label, p),
-                &model,
-                |b, model| {
-                    b.iter(|| {
-                        let mgr = Manager::new();
-                        model.compile(&mgr).unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, p), &model, |b, model| {
+                b.iter(|| {
+                    let mgr = Manager::new();
+                    model.compile(&mgr).unwrap()
+                })
+            });
         }
     }
     group.finish();
@@ -62,8 +58,11 @@ fn bench_chain_engines(c: &mut Criterion) {
     });
     group.bench_function("baseline_exact_inference", |b| {
         b.iter(|| {
-            mcnetkat_baseline::ExactInference::new(64)
-                .query(&bench.program, &bench.input, &bench.accept)
+            mcnetkat_baseline::ExactInference::new(64).query(
+                &bench.program,
+                &bench.input,
+                &bench.accept,
+            )
         })
     });
     group.finish();

@@ -42,7 +42,12 @@ fn main() {
     table.print();
 
     println!("\nFigure 11(c) — refinement under f_k (≡ equivalent, < strict)\n");
-    let mut table = Table::new(&["k", "F10_0 vs F10_3", "F10_3 vs F10_3,5", "F10_3,5 vs teleport"]);
+    let mut table = Table::new(&[
+        "k",
+        "F10_0 vs F10_3",
+        "F10_3 vs F10_3,5",
+        "F10_3,5 vs teleport",
+    ]);
     for k in &ks {
         let failure = match k {
             Some(k) => FailureModel::bounded(pr.clone(), *k),

@@ -53,12 +53,9 @@ fn main() {
             let model = NetworkModel::new(topo.clone(), dst, RoutingScheme::Ecmp, failure);
             let prog = model.program();
             let src = model.ingresses()[0];
-            let input = mcnetkat_core::Packet::new()
-                .with(model.fields.sw, model.topo.sw_value(src));
-            let accept = mcnetkat_core::Pred::test(
-                model.fields.sw,
-                model.topo.sw_value(dst),
-            );
+            let input =
+                mcnetkat_core::Packet::new().with(model.fields.sw, model.topo.sw_value(src));
+            let accept = mcnetkat_core::Pred::test(model.fields.sw, model.topo.sw_value(dst));
             let (res, t) = timed(|| {
                 let auto = translate(&prog).expect("translate");
                 check_reachability(&auto, &input, &accept, McMode::Approx)

@@ -35,6 +35,12 @@ fn main() {
     // Refinement chain under f2.
     let naive = mgr.compile(&ex.model(&ex.naive, &ex.f2)).unwrap();
     let resil = mgr.compile(&ex.model(&ex.resilient, &ex.f2)).unwrap();
-    println!("\nrefinement:  M(p,t̂,f2) < M(p̂,t̂,f2): {}", mgr.less(naive, resil));
-    println!("             M(p̂,t̂,f2) < teleport:  {}", mgr.less(resil, tele));
+    println!(
+        "\nrefinement:  M(p,t̂,f2) < M(p̂,t̂,f2): {}",
+        mgr.less(naive, resil)
+    );
+    println!(
+        "             M(p̂,t̂,f2) < teleport:  {}",
+        mgr.less(resil, tele)
+    );
 }

@@ -431,7 +431,10 @@ mod tests {
         let ok = Prog::choice2(p.clone(), Ratio::new(1, 2), q.clone());
         assert!(matches!(ok, Prog::Choice(_)));
         let bad = std::panic::catch_unwind(|| {
-            Prog::choice(vec![(p.clone(), Ratio::new(1, 2)), (q.clone(), Ratio::new(1, 3))])
+            Prog::choice(vec![
+                (p.clone(), Ratio::new(1, 2)),
+                (q.clone(), Ratio::new(1, 3)),
+            ])
         });
         assert!(bad.is_err());
     }
@@ -439,7 +442,11 @@ mod tests {
     #[test]
     fn uniform_splits_evenly() {
         let (sw, _) = fields();
-        let progs = vec![Prog::assign(sw, 1), Prog::assign(sw, 2), Prog::assign(sw, 3)];
+        let progs = vec![
+            Prog::assign(sw, 1),
+            Prog::assign(sw, 2),
+            Prog::assign(sw, 3),
+        ];
         match Prog::uniform(progs) {
             Prog::Choice(branches) => {
                 assert!(branches.iter().all(|(_, r)| *r == Ratio::new(1, 3)));

@@ -408,10 +408,7 @@ mod tests {
         let g = field("it_g5");
         let p = Prog::assign(f, 1).seq(Prog::assign(g, 2));
         let d = Interp::new().eval_packet(&p, &Packet::new());
-        assert_eq!(
-            d.prob(&Packet::new().with(f, 1).with(g, 2)),
-            Ratio::one()
-        );
+        assert_eq!(d.prob(&Packet::new().with(f, 1).with(g, 2)), Ratio::one());
     }
 
     #[test]
@@ -485,7 +482,11 @@ mod tests {
         let interp = Interp::new();
         for v in [0, 1, 2] {
             let a = singleton(Packet::new().with(f, v));
-            assert_eq!(interp.eval(&p, &a), interp.eval(&p.desugar(), &a), "input f={v}");
+            assert_eq!(
+                interp.eval(&p, &a),
+                interp.eval(&p.desugar(), &a),
+                "input f={v}"
+            );
         }
     }
 

@@ -215,9 +215,7 @@ impl ActionDist {
 
     /// Returns `true` if this is the deterministic drop.
     pub fn is_drop(&self) -> bool {
-        self.entries.len() == 1
-            && self.entries[0].0 == Action::Drop
-            && self.entries[0].1.is_one()
+        self.entries.len() == 1 && self.entries[0].0 == Action::Drop && self.entries[0].1.is_one()
     }
 
     /// Maps every action through `f`, merging collisions.
@@ -269,10 +267,7 @@ mod tests {
         let (f, g) = fields();
         let pk = Packet::new().with(f, 5);
         assert_eq!(Action::Drop.apply(&pk), None);
-        assert_eq!(
-            Action::mods([(g, 3)]).apply(&pk),
-            Some(pk.with(g, 3))
-        );
+        assert_eq!(Action::mods([(g, 3)]).apply(&pk), Some(pk.with(g, 3)));
     }
 
     #[test]

@@ -242,10 +242,7 @@ mod tests {
         let fdd = mgr.compile(&prog).unwrap();
         let d = mgr.eval(fdd, &Packet::new());
         // f is reset to 0 (= absent), g is 7.
-        assert_eq!(
-            d,
-            ActionDist::dirac(Action::mods([(f, 0), (g, 7)]))
-        );
+        assert_eq!(d, ActionDist::dirac(Action::mods([(f, 0), (g, 7)])));
         let out = d.iter().next().unwrap().0.apply(&Packet::new()).unwrap();
         assert_eq!(out, Packet::new().with(g, 7));
     }

@@ -51,17 +51,16 @@ pub fn compile_while(
     let mut index: HashMap<SymPkt, usize> = HashMap::new();
     let mut states: Vec<SymPkt> = Vec::new();
     let mut worklist: Vec<usize> = Vec::new();
-    let mut intern =
-        |pk: SymPkt, states: &mut Vec<SymPkt>, worklist: &mut Vec<usize>| -> usize {
-            if let Some(&ix) = index.get(&pk) {
-                return ix;
-            }
-            let ix = states.len() + 1; // offset for DROP_STATE
-            index.insert(pk.clone(), ix);
-            states.push(pk);
-            worklist.push(ix);
-            ix
-        };
+    let mut intern = |pk: SymPkt, states: &mut Vec<SymPkt>, worklist: &mut Vec<usize>| -> usize {
+        if let Some(&ix) = index.get(&pk) {
+            return ix;
+        }
+        let ix = states.len() + 1; // offset for DROP_STATE
+        index.insert(pk.clone(), ix);
+        states.push(pk);
+        worklist.push(ix);
+        ix
+    };
     for class in &input_classes {
         intern(class.clone(), &mut states, &mut worklist);
     }
@@ -241,11 +240,8 @@ pub fn compile_while(
     }
 
     // 6. Rebuild the big-step FDD over the tested fields.
-    let fields: Vec<(Field, Vec<Value>)> = dom
-        .tested
-        .iter()
-        .map(|(f, vs)| (*f, vs.clone()))
-        .collect();
+    let fields: Vec<(Field, Vec<Value>)> =
+        dom.tested.iter().map(|(f, vs)| (*f, vs.clone())).collect();
     Ok(build_tree(mgr, &fields, 0, SymPkt::star(), &class_dists))
 }
 
@@ -360,7 +356,12 @@ mod tests {
         let fdd = mgr.compile(&prog).unwrap();
         for start in 0..=3u32 {
             let d = mgr.eval(fdd, &Packet::new().with(f, start));
-            let out = d.iter().next().unwrap().0.apply(&Packet::new().with(f, start));
+            let out = d
+                .iter()
+                .next()
+                .unwrap()
+                .0
+                .apply(&Packet::new().with(f, start));
             assert_eq!(out, Some(Packet::new().with(f, 3)), "start {start}");
             assert_eq!(d.mass(), Ratio::one());
         }

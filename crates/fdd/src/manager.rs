@@ -729,9 +729,7 @@ mod tests {
         let (f, _) = fields();
         let fdd = mgr.branch(f, 1, mgr.pass(), mgr.fail());
         assert!(mgr.eval_sym(fdd, &SymPkt::star()).is_drop());
-        assert!(mgr
-            .eval_sym(fdd, &SymPkt::from_pairs([(f, 1)]))
-            .is_skip());
+        assert!(mgr.eval_sym(fdd, &SymPkt::from_pairs([(f, 1)])).is_skip());
     }
 
     #[test]

@@ -152,14 +152,11 @@ mod tests {
         assert_eq!(m.nrows(), 4);
         assert!(m.is_stochastic());
         // The pt=1 row splits ½/½; the wildcard row drops.
-        let row1 = m
-            .inputs
-            .iter()
-            .position(|c| c.get(pt) == Some(1))
-            .unwrap();
+        let row1 = m.inputs.iter().position(|c| c.get(pt) == Some(1)).unwrap();
         assert_eq!(m.rows[row1].len(), 2);
         let star = m.inputs.iter().position(|c| c.get(pt).is_none()).unwrap();
-        assert_eq!(m.get(star, 0), Ratio::one()); // ∅ column
+        // ∅ column
+        assert_eq!(m.get(star, 0), Ratio::one());
         // Sparse: 5 non-zeros in a 4×≥4 matrix, matching Figure 5.
         assert_eq!(m.nnz(), 5);
     }

@@ -121,8 +121,7 @@ impl Manager {
         self.joint_classes(p, q).iter().all(|class| {
             let dp = self.sym_output_dist(p, class);
             let dq = self.sym_output_dist(q, class);
-            let keys: std::collections::BTreeSet<_> =
-                dp.keys().chain(dq.keys()).cloned().collect();
+            let keys: std::collections::BTreeSet<_> = dp.keys().chain(dq.keys()).cloned().collect();
             keys.into_iter().all(|o| {
                 let a = dp.get(&o).map_or(0.0, Ratio::to_f64);
                 let b = dq.get(&o).map_or(0.0, Ratio::to_f64);
@@ -192,9 +191,7 @@ mod tests {
     #[test]
     fn choice_probabilities_matter_for_equiv() {
         let (mgr, f, _) = mgr_and_fields();
-        let p = |r: Ratio| {
-            Prog::choice2(Prog::assign(f, 1), r, Prog::assign(f, 2))
-        };
+        let p = |r: Ratio| Prog::choice2(Prog::assign(f, 1), r, Prog::assign(f, 2));
         let a = mgr.compile(&p(Ratio::new(1, 2))).unwrap();
         let b = mgr.compile(&p(Ratio::new(1, 2))).unwrap();
         let c = mgr.compile(&p(Ratio::new(1, 3))).unwrap();
@@ -220,8 +217,7 @@ mod tests {
     #[test]
     fn refinement_orders_lossy_programs() {
         let (mgr, f, _) = mgr_and_fields();
-        let flaky =
-            Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 2), Prog::drop());
+        let flaky = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 2), Prog::drop());
         let reliable = Prog::assign(f, 1);
         let a = mgr.compile(&flaky).unwrap();
         let b = mgr.compile(&reliable).unwrap();

@@ -170,9 +170,7 @@ impl Domain {
 /// Evaluates an action distribution on a symbolic packet, producing the
 /// distribution over successor symbolic packets (`None` = dropped).
 pub fn step(dist: &ActionDist, pk: &SymPkt) -> Vec<(Option<SymPkt>, mcnetkat_num::Ratio)> {
-    dist.iter()
-        .map(|(a, r)| (pk.apply(a), r.clone()))
-        .collect()
+    dist.iter().map(|(a, r)| (pk.apply(a), r.clone())).collect()
 }
 
 #[cfg(test)]

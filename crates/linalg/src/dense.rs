@@ -222,10 +222,7 @@ mod tests {
     #[test]
     fn solves_exactly_over_rationals() {
         let r = |n, d| Ratio::new(n, d);
-        let a = DenseMatrix::from_rows(vec![
-            vec![r(2, 1), r(1, 1)],
-            vec![r(1, 1), r(3, 1)],
-        ]);
+        let a = DenseMatrix::from_rows(vec![vec![r(2, 1), r(1, 1)], vec![r(1, 1), r(3, 1)]]);
         let x = a.solve(&[r(3, 1), r(5, 1)]).unwrap();
         assert_eq!(x, vec![r(4, 5), r(7, 5)]);
     }
@@ -240,7 +237,10 @@ mod tests {
     #[test]
     fn singular_matrix_is_reported() {
         let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]);
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(LinalgError::Singular(_))));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(LinalgError::Singular(_))
+        ));
     }
 
     #[test]
@@ -248,7 +248,10 @@ mod tests {
         let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
         let b = DenseMatrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]);
         let c = a.matmul(&b);
-        assert_eq!(c, DenseMatrix::from_rows(vec![vec![19.0, 22.0], vec![43.0, 50.0]]));
+        assert_eq!(
+            c,
+            DenseMatrix::from_rows(vec![vec![19.0, 22.0], vec![43.0, 50.0]])
+        );
     }
 
     #[test]
@@ -262,6 +265,9 @@ mod tests {
         let a = DenseMatrix::from_rows(vec![vec![2.0, 0.0], vec![0.0, 4.0]]);
         let b = DenseMatrix::from_rows(vec![vec![2.0, 4.0], vec![8.0, 12.0]]);
         let x = a.solve_multi(&b).unwrap();
-        assert_eq!(x, DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 3.0]]));
+        assert_eq!(
+            x,
+            DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 3.0]])
+        );
     }
 }

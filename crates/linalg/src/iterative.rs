@@ -88,7 +88,11 @@ pub fn gauss_seidel(
                 }
             }
             let denom = 1.0 - diag;
-            let next = if denom.abs() < 1e-15 { acc } else { acc / denom };
+            let next = if denom.abs() < 1e-15 {
+                acc
+            } else {
+                acc / denom
+            };
             delta = delta.max((next - x[i]).abs());
             x[i] = next;
         }

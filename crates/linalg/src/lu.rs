@@ -247,15 +247,7 @@ mod tests {
 
     #[test]
     fn solves_dense_system() {
-        let a = csr_from(
-            &[
-                (0, 0, 2.0),
-                (0, 1, 1.0),
-                (1, 0, 1.0),
-                (1, 1, 3.0),
-            ],
-            2,
-        );
+        let a = csr_from(&[(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)], 2);
         let x = SparseLu::factor(&a).unwrap().solve(&[3.0, 5.0]);
         assert!((x[0] - 0.8).abs() < 1e-12);
         assert!((x[1] - 1.4).abs() < 1e-12);

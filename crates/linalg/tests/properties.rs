@@ -3,8 +3,8 @@
 //! LU correctness on random systems.
 
 use mcnetkat_linalg::{
-    gauss_seidel, jacobi, AbsorbingChain, DenseMatrix, IterativeOptions, SolverBackend,
-    SparseLu, Triplets,
+    gauss_seidel, jacobi, AbsorbingChain, DenseMatrix, IterativeOptions, SolverBackend, SparseLu,
+    Triplets,
 };
 use mcnetkat_num::Ratio;
 use proptest::prelude::*;

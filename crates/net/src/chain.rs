@@ -92,8 +92,7 @@ pub fn chain_benchmark(k: usize, pfail: Ratio) -> ChainBenchmark {
                 continue;
             }
             let here = Pred::test(sw, sv).and(Pred::test(pt, pp.port));
-            let mv = Prog::assign(sw, topo.sw_value(pp.peer))
-                .seq(Prog::assign(pt, pp.peer_port));
+            let mv = Prog::assign(sw, topo.sw_value(pp.peer)).seq(Prog::assign(pt, pp.peer_port));
             let step = if is_lower && pp.port == ports[0] {
                 Prog::ite(Pred::test(fields.up(pp.port), 1), mv, Prog::drop())
                     .seq(Prog::assign(fields.up(pp.port), 0))
@@ -136,7 +135,7 @@ pub fn chain_expected_delivery(k: usize, pfail: &Ratio) -> Ratio {
     per_diamond.pow(k as u32)
 }
 
-/// Convenience: an equivalent [`NetworkModel`]-free delivery query via the
+/// Convenience: an equivalent [`NetworkModel`](crate::NetworkModel)-free delivery query via the
 /// native backend.
 ///
 /// # Errors
@@ -211,8 +210,11 @@ mod tests {
     fn agrees_with_baseline() {
         let pfail = Ratio::new(1, 8);
         let bench = chain_benchmark(2, pfail.clone());
-        let r = mcnetkat_baseline::ExactInference::new(64)
-            .query(&bench.program, &bench.input, &bench.accept);
+        let r = mcnetkat_baseline::ExactInference::new(64).query(
+            &bench.program,
+            &bench.input,
+            &bench.accept,
+        );
         assert!(r.is_exact());
         assert_eq!(r.probability, chain_expected_delivery(2, &pfail));
     }

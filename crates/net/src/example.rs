@@ -52,11 +52,7 @@ pub fn running_example() -> RunningExample {
     );
 
     // p̂₁ ≜ if up2=1 then pt<-2 else pt<-3 ; p̂₂ = p̂₃ = pt<-2
-    let p1 = Prog::ite(
-        Pred::test(up2, 1),
-        Prog::assign(pt, 2),
-        Prog::assign(pt, 3),
-    );
+    let p1 = Prog::ite(Pred::test(up2, 1), Prog::assign(pt, 2), Prog::assign(pt, 3));
     let resilient = Prog::ite(
         Pred::test(sw, 1),
         p1,
@@ -72,11 +68,15 @@ pub fn running_example() -> RunningExample {
     let topology = Prog::case(
         vec![
             (
-                Pred::test(sw, 1).and(Pred::test(pt, 2)).and(Pred::test(up2, 1)),
+                Pred::test(sw, 1)
+                    .and(Pred::test(pt, 2))
+                    .and(Pred::test(up2, 1)),
                 Prog::assign(sw, 2).seq(Prog::assign(pt, 1)),
             ),
             (
-                Pred::test(sw, 1).and(Pred::test(pt, 3)).and(Pred::test(up3, 1)),
+                Pred::test(sw, 1)
+                    .and(Pred::test(pt, 3))
+                    .and(Pred::test(up3, 1)),
                 Prog::assign(sw, 3).seq(Prog::assign(pt, 1)),
             ),
             (
@@ -130,11 +130,7 @@ impl RunningExample {
         let m = Prog::filter(self.ingress.clone())
             .seq(fp)
             .seq(Prog::while_(self.egress.clone().not(), loop_body));
-        Prog::local(
-            self.fields.up(2),
-            1,
-            Prog::local(self.fields.up(3), 1, m),
-        )
+        Prog::local(self.fields.up(2), 1, Prog::local(self.fields.up(3), 1, m))
     }
 
     /// The specification `in ; sw<-2 ; pt<-2`, wrapped in the same local

@@ -60,18 +60,10 @@ impl FailureModel {
                 None => Prog::assign(up, 0),
                 Some(k) => Prog::assign(up, 0).seq(bump_counter(fields, k)),
             };
-            let draw = Prog::choice2(
-                fail_then_count,
-                self.pr.clone(),
-                Prog::assign(up, 1),
-            );
+            let draw = Prog::choice2(fail_then_count, self.pr.clone(), Prog::assign(up, 1));
             let guarded = match self.k {
                 // Budget exhausted ⇒ the link is up.
-                Some(k) => Prog::ite(
-                    Pred::test(fields.fl, k),
-                    Prog::assign(up, 1),
-                    draw,
-                ),
+                Some(k) => Prog::ite(Pred::test(fields.fl, k), Prog::assign(up, 1), draw),
                 None => draw,
             };
             steps.push(guarded);

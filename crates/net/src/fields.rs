@@ -46,9 +46,7 @@ impl NetFields {
     ///
     /// Panics if `i` is 0 or exceeds the maximum degree.
     pub fn up(&self, i: u32) -> Field {
-        self.ups[(i as usize)
-            .checked_sub(1)
-            .expect("ports are 1-based")]
+        self.ups[(i as usize).checked_sub(1).expect("ports are 1-based")]
     }
 
     /// All `up` fields, in port order.

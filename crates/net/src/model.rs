@@ -72,12 +72,7 @@ impl NetworkModel {
             .filter(|&s| self.topo.info(s).level == Level::Edge && s != self.dst)
             .collect();
         if edges.is_empty() {
-            self.topo
-                .switches()
-                .first()
-                .copied()
-                .into_iter()
-                .collect()
+            self.topo.switches().first().copied().into_iter().collect()
         } else {
             edges
         }
@@ -139,11 +134,7 @@ impl NetworkModel {
                 let mv = Prog::assign(self.fields.sw, self.topo.sw_value(pp.peer))
                     .seq(Prog::assign(self.fields.pt, pp.peer_port));
                 let step = if prone.contains(&pp.port) && !self.failure.is_failure_free() {
-                    Prog::ite(
-                        Pred::test(self.fields.up(pp.port), 1),
-                        mv,
-                        Prog::drop(),
-                    )
+                    Prog::ite(Pred::test(self.fields.up(pp.port), 1), mv, Prog::drop())
                 } else {
                     mv
                 };
@@ -345,8 +336,8 @@ mod tests {
     fn hop_counter_counts_path_length() {
         let topo = ab_fattree(4);
         let dst = topo.find("edge0_0").unwrap();
-        let model = NetworkModel::new(topo, dst, RoutingScheme::Ecmp, FailureModel::none())
-            .with_hop_cap(8);
+        let model =
+            NetworkModel::new(topo, dst, RoutingScheme::Ecmp, FailureModel::none()).with_hop_cap(8);
         let mgr = Manager::new();
         let fdd = model.compile(&mgr).unwrap();
         // From the other edge in pod 0 the path is always 2 hops.

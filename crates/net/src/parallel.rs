@@ -36,10 +36,10 @@ pub fn compile_model_parallel(
     // own manager (no shared locks), then export the results.
     let chunk = switch_progs.len().div_ceil(workers);
     let mut exported: Vec<(u32, FddExport)> = Vec::with_capacity(switch_progs.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for work in switch_progs.chunks(chunk.max(1)) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let local = Manager::new();
                 work.iter()
                     .map(|(sw, prog)| {
@@ -55,8 +55,7 @@ pub fn compile_model_parallel(
             exported.extend(batch);
         }
         Ok::<(), CompileError>(())
-    })
-    .expect("thread scope failed")?;
+    })?;
 
     // Reduce: import into the main manager and fold the disjoint `case`.
     let mut policy = mgr.fail();
@@ -154,12 +153,8 @@ mod tests {
         let mgr = Manager::new();
         let sequential = m.compile(&mgr).unwrap();
         for workers in [1, 2, 4] {
-            let parallel =
-                compile_model_parallel(&mgr, &m, workers, &Default::default()).unwrap();
-            assert!(
-                mgr.equiv(sequential, parallel),
-                "workers = {workers}"
-            );
+            let parallel = compile_model_parallel(&mgr, &m, workers, &Default::default()).unwrap();
+            assert!(mgr.equiv(sequential, parallel), "workers = {workers}");
         }
     }
 

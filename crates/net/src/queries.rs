@@ -271,8 +271,8 @@ mod tests {
         let mgr = Manager::new();
         let topo = ab_fattree(4);
         let dst = topo.find("edge0_0").unwrap();
-        let m = NetworkModel::new(topo, dst, RoutingScheme::Ecmp, FailureModel::none())
-            .with_hop_cap(8);
+        let m =
+            NetworkModel::new(topo, dst, RoutingScheme::Ecmp, FailureModel::none()).with_hop_cap(8);
         let q = Queries::new(&mgr, &m).unwrap();
         let src = m.topo.find("edge1_0").unwrap();
         let stats = q.hop_stats(src);

@@ -152,12 +152,7 @@ pub(crate) fn switch_program(
             // Failure-oblivious: uniform over all shortest-path ports
             // regardless of health (dead links drop in the topology
             // program).
-            let all: Vec<u32> = ecmp
-                .safe
-                .iter()
-                .chain(ecmp.prone.iter())
-                .copied()
-                .collect();
+            let all: Vec<u32> = ecmp.safe.iter().chain(ecmp.prone.iter()).copied().collect();
             if all.is_empty() {
                 Prog::drop()
             } else {
@@ -227,9 +222,7 @@ fn candidate_sets(
             if scheme == RoutingScheme::F10_3_5 {
                 // 5-hop rerouting through a same-type subtree: mark the
                 // packet so foreign-pod aggregation switches send it down.
-                sets.push(
-                    Candidates::prone(same).with_prelude(Prog::assign(fields.dt, 1)),
-                );
+                sets.push(Candidates::prone(same).with_prelude(Prog::assign(fields.dt, 1)));
             }
         }
         Level::Agg => {
@@ -252,11 +245,7 @@ fn forward_uniform(fields: &NetFields, ports: &[u32]) -> Prog {
 /// dead. Liveness of prone ports is resolved by nested conditionals on the
 /// `up` flags (an explicit subset enumeration, exponential in the number
 /// of prone ports per set — small in practice).
-pub(crate) fn priority_choose(
-    fields: &NetFields,
-    sets: &[Candidates],
-    otherwise: Prog,
-) -> Prog {
+pub(crate) fn priority_choose(fields: &NetFields, sets: &[Candidates], otherwise: Prog) -> Prog {
     match sets.split_first() {
         None => otherwise,
         Some((set, rest)) => {
@@ -342,7 +331,11 @@ mod tests {
     #[test]
     fn destination_switch_drops() {
         let (topo, fields, dst, sp) = setup();
-        for scheme in [RoutingScheme::Ecmp, RoutingScheme::F10_3, RoutingScheme::F10_3_5] {
+        for scheme in [
+            RoutingScheme::Ecmp,
+            RoutingScheme::F10_3,
+            RoutingScheme::F10_3_5,
+        ] {
             let prog = switch_program(scheme, &fields, &topo, &sp, dst, dst);
             assert_eq!(prog, Prog::drop(), "{scheme:?}");
         }

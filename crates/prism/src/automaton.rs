@@ -95,7 +95,14 @@ impl Builder {
         self.next - 1
     }
 
-    fn edge(&mut self, src: usize, guard: Pred, prob: Ratio, updates: Vec<(Field, Value)>, dst: usize) {
+    fn edge(
+        &mut self,
+        src: usize,
+        guard: Pred,
+        prob: Ratio,
+        updates: Vec<(Field, Value)>,
+        dst: usize,
+    ) {
         self.edges.push(Edge {
             src,
             guard,

@@ -199,8 +199,8 @@ mod tests {
         let f = field("mc_f");
         let prog = Prog::assign(f, 1).seq(Prog::assign(f, 2));
         let auto = translate(&prog).unwrap();
-        let r = check_reachability(&auto, &Packet::new(), &Pred::test(f, 2), McMode::Exact)
-            .unwrap();
+        let r =
+            check_reachability(&auto, &Packet::new(), &Pred::test(f, 2), McMode::Exact).unwrap();
         assert_eq!(r.exact, Some(Ratio::one()));
     }
 
@@ -209,16 +209,10 @@ mod tests {
         let f = field("mc_f2");
         let prog = Prog::test(f, 1);
         let auto = translate(&prog).unwrap();
-        let r =
-            check_reachability(&auto, &Packet::new(), &Pred::t(), McMode::Exact).unwrap();
+        let r = check_reachability(&auto, &Packet::new(), &Pred::t(), McMode::Exact).unwrap();
         assert_eq!(r.exact, Some(Ratio::zero()));
-        let r2 = check_reachability(
-            &auto,
-            &Packet::new().with(f, 1),
-            &Pred::t(),
-            McMode::Exact,
-        )
-        .unwrap();
+        let r2 = check_reachability(&auto, &Packet::new().with(f, 1), &Pred::t(), McMode::Exact)
+            .unwrap();
         assert_eq!(r2.exact, Some(Ratio::one()));
     }
 
@@ -227,8 +221,8 @@ mod tests {
         let f = field("mc_f3");
         let prog = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 4), Prog::assign(f, 2));
         let auto = translate(&prog).unwrap();
-        let r = check_reachability(&auto, &Packet::new(), &Pred::test(f, 1), McMode::Exact)
-            .unwrap();
+        let r =
+            check_reachability(&auto, &Packet::new(), &Pred::test(f, 1), McMode::Exact).unwrap();
         assert_eq!(r.exact, Some(Ratio::new(1, 4)));
     }
 
@@ -239,11 +233,9 @@ mod tests {
         let prog = Prog::while_(Pred::test(f, 0), body);
         let auto = translate(&prog).unwrap();
         let exact =
-            check_reachability(&auto, &Packet::new(), &Pred::test(f, 1), McMode::Exact)
-                .unwrap();
+            check_reachability(&auto, &Packet::new(), &Pred::test(f, 1), McMode::Exact).unwrap();
         let approx =
-            check_reachability(&auto, &Packet::new(), &Pred::test(f, 1), McMode::Approx)
-                .unwrap();
+            check_reachability(&auto, &Packet::new(), &Pred::test(f, 1), McMode::Approx).unwrap();
         assert_eq!(exact.exact, Some(Ratio::one()));
         assert!((approx.probability - 1.0).abs() < 1e-9);
     }

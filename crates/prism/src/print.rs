@@ -97,8 +97,14 @@ pub fn to_prism_source(auto: &Automaton, init: &Packet) -> String {
         ));
     }
     // Absorbing states.
-    out.push_str(&format!("  [] pc={} -> 1 : (pc'={});\n", auto.exit, auto.exit));
-    out.push_str(&format!("  [] pc={} -> 1 : (pc'={});\n", auto.sink, auto.sink));
+    out.push_str(&format!(
+        "  [] pc={} -> 1 : (pc'={});\n",
+        auto.exit, auto.exit
+    ));
+    out.push_str(&format!(
+        "  [] pc={} -> 1 : (pc'={});\n",
+        auto.sink, auto.sink
+    ));
     out.push_str("endmodule\n");
     out
 }

@@ -2,7 +2,7 @@
 
 use crate::{PodType, Topology};
 
-/// Builds a `p`-ary AB FatTree: the same switches as [`fattree`], but pods
+/// Builds a `p`-ary AB FatTree: the same switches as [`fattree`](crate::fattree), but pods
 /// alternate between type A (conventional) and type B (staggered) core
 /// wiring. A core switch therefore connects to aggregation switches of
 /// *both* types, which is what makes 3-hop detours possible after an

@@ -107,17 +107,16 @@ pub fn parse_dot(src: &str) -> Result<Topology, DotError> {
                 let nb = topo
                     .find(b)
                     .ok_or_else(|| err(format!("unknown node `{b}`")))?;
-                let src_port = attr_u32(&attrs, "src_port")
-                    .ok_or_else(|| err("missing src_port".into()))?;
-                let dst_port = attr_u32(&attrs, "dst_port")
-                    .ok_or_else(|| err("missing dst_port".into()))?;
+                let src_port =
+                    attr_u32(&attrs, "src_port").ok_or_else(|| err("missing src_port".into()))?;
+                let dst_port =
+                    attr_u32(&attrs, "dst_port").ok_or_else(|| err("missing dst_port".into()))?;
                 topo.link_ports(na, src_port, nb, dst_port);
             } else {
                 // Node declaration.
                 let name = endpoints.trim();
                 let level = match attr_str(&attrs, "level") {
-                    Some(l) => level_of(&l)
-                        .ok_or_else(|| err(format!("unknown level `{l}`")))?,
+                    Some(l) => level_of(&l).ok_or_else(|| err(format!("unknown level `{l}`")))?,
                     None => Level::Plain,
                 };
                 topo.add_node(NodeInfo {

@@ -215,10 +215,7 @@ impl Topology {
 
     /// Looks up a node by name.
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|i| i.name == name)
-            .map(NodeId)
+        self.nodes.iter().position(|i| i.name == name).map(NodeId)
     }
 
     /// The ProbNetKAT switch number for a node (1-based node id).

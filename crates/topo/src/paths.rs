@@ -93,12 +93,13 @@ mod tests {
     }
 
     #[test]
-    fn fattree_edge_to_edge_distance_is_four_across_pods(){
+    fn fattree_edge_to_edge_distance_is_four_across_pods() {
         let t = fattree(4);
         let e0 = t.find("edge0_0").unwrap();
         let e2 = t.find("edge2_0").unwrap();
         let sp = ShortestPaths::towards(&t, e0);
-        assert_eq!(sp.distance(e2), Some(4)); // edge-agg-core-agg-edge
+        // edge-agg-core-agg-edge
+        assert_eq!(sp.distance(e2), Some(4));
         // Within a pod: 2 hops via aggregation.
         let e0b = t.find("edge0_1").unwrap();
         assert_eq!(sp.distance(e0b), Some(2));

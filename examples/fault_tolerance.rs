@@ -29,8 +29,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let resilient = mgr.compile(&ex.model(&ex.resilient, &ex.f2))?;
     let pn = mgr.prob_delivery(naive, &pk);
     let pr = mgr.prob_delivery(resilient, &pk);
-    println!("  P[deliver | naive]     = {pn} ({:.0}%)", pn.to_f64() * 100.0);
-    println!("  P[deliver | resilient] = {pr} ({:.0}%)", pr.to_f64() * 100.0);
-    println!("  naive < resilient (refinement): {}", mgr.less(naive, resilient));
+    println!(
+        "  P[deliver | naive]     = {pn} ({:.0}%)",
+        pn.to_f64() * 100.0
+    );
+    println!(
+        "  P[deliver | resilient] = {pr} ({:.0}%)",
+        pr.to_f64() * 100.0
+    );
+    println!(
+        "  naive < resilient (refinement): {}",
+        mgr.less(naive, resilient)
+    );
     Ok(())
 }

@@ -43,21 +43,25 @@ fn arb_prog(depth: u32) -> BoxedStrategy<Prog> {
     leaf.prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(p, q)| p.seq(q)),
-            (inner.clone(), 1..8i64, inner.clone())
-                .prop_map(|(p, n, q)| Prog::choice2(p, Ratio::new(n, 8), q)),
-            (arb_pred(1), inner.clone(), inner.clone())
-                .prop_map(|(t, p, q)| Prog::ite(t, p, q)),
-            (0..3usize, 0..4u32, inner.clone())
-                .prop_map(|(f, v, p)| Prog::local(fields()[f], v, p)),
+            (inner.clone(), 1..8i64, inner.clone()).prop_map(|(p, n, q)| Prog::choice2(
+                p,
+                Ratio::new(n, 8),
+                q
+            )),
+            (arb_pred(1), inner.clone(), inner.clone()).prop_map(|(t, p, q)| Prog::ite(t, p, q)),
+            (0..3usize, 0..4u32, inner.clone()).prop_map(|(f, v, p)| Prog::local(
+                fields()[f],
+                v,
+                p
+            )),
         ]
     })
     .boxed()
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
-    proptest::collection::vec(0..4u32, 3).prop_map(|vs| {
-        Packet::from_pairs(fields().into_iter().zip(vs))
-    })
+    proptest::collection::vec(0..4u32, 3)
+        .prop_map(|vs| Packet::from_pairs(fields().into_iter().zip(vs)))
 }
 
 /// The interpreter's output distribution as a sorted, exact map.

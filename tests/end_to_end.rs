@@ -98,8 +98,7 @@ fn chain_engines_agree() {
     let auto = translate(&bench.program).unwrap();
     let mc = check_reachability(&auto, &bench.input, &bench.accept, McMode::Exact).unwrap();
     assert_eq!(mc.exact, Some(expect.clone()));
-    let approx =
-        check_reachability(&auto, &bench.input, &bench.accept, McMode::Approx).unwrap();
+    let approx = check_reachability(&auto, &bench.input, &bench.accept, McMode::Approx).unwrap();
     assert!((approx.probability - expect.to_f64()).abs() < 1e-9);
 
     let base = ExactInference::new(96).query(&bench.program, &bench.input, &bench.accept);

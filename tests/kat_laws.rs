@@ -37,10 +37,12 @@ fn arb_prog() -> BoxedStrategy<Prog> {
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(p, q)| p.seq(q)),
-            (inner.clone(), 1..4i64, inner.clone())
-                .prop_map(|(p, n, q)| Prog::choice2(p, Ratio::new(n, 4), q)),
-            (arb_pred(), inner.clone(), inner.clone())
-                .prop_map(|(t, p, q)| Prog::ite(t, p, q)),
+            (inner.clone(), 1..4i64, inner.clone()).prop_map(|(p, n, q)| Prog::choice2(
+                p,
+                Ratio::new(n, 4),
+                q
+            )),
+            (arb_pred(), inner.clone(), inner.clone()).prop_map(|(t, p, q)| Prog::ite(t, p, q)),
         ]
     })
     .boxed()

@@ -1,0 +1,44 @@
+//! Minimal, dependency-free stand-in for the [`parking_lot`] crate.
+//!
+//! The build environment is fully offline, so this shim provides the one
+//! type the workspace uses — [`Mutex`] with parking_lot's panic-free
+//! `lock()` signature — implemented over `std::sync::Mutex`. Lock
+//! poisoning is deliberately ignored (parking_lot mutexes do not poison):
+//! a poisoned guard is recovered with `into_inner`.
+//!
+//! [`parking_lot`]: https://docs.rs/parking_lot
+
+use std::sync::MutexGuard as StdMutexGuard;
+
+/// A mutex with `parking_lot`'s API: `lock()` returns the guard directly
+/// rather than a `Result`.
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Never panics on
+    /// poisoning, matching parking_lot semantics.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}

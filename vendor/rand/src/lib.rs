@@ -1,0 +1,99 @@
+//! Minimal, dependency-free stand-in for the [`rand`] crate.
+//!
+//! The build environment is fully offline; this shim covers only what the
+//! workspace's tests use: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `gen_range`
+//! (over half-open ranges) and `gen_bool`. The generator is splitmix64 —
+//! statistically fine for generating test fixtures, not cryptographic.
+//!
+//! [`rand`]: https://docs.rs/rand
+
+use std::ops::Range;
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Uniform sample in `[lo, hi)`.
+    fn sample(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+}
+
+/// Raw 64-bit generator interface.
+pub trait RngCore {
+    /// Next raw value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing random-value methods (blanket-implemented over
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Uniform value in the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction from a small seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+macro_rules! sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty gen_range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator (the shim's only RNG).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
