@@ -1,0 +1,220 @@
+//! Perf-regression gate: diffs a `cargo bench` median dump against a
+//! checked-in baseline and warns on regressions.
+//!
+//! The criterion shim writes `BENCH_results.json` (flat JSON object,
+//! benchmark label → median nanoseconds) after every `cargo bench` run.
+//! This binary compares such a dump against `crates/bench/BENCH_baseline.json`
+//! and exits non-zero when any shared benchmark regressed by more than the
+//! threshold (default 15%). Benchmarks present on only one side are
+//! reported but never fail the gate, so adding or retiring benchmarks
+//! doesn't require a baseline refresh in the same change.
+//!
+//! ```text
+//! cargo bench -p mcnetkat-bench
+//! cargo run -p mcnetkat-bench --bin bench_compare
+//! # custom paths / threshold:
+//! cargo run -p mcnetkat-bench --bin bench_compare -- current.json base.json 20
+//! ```
+//!
+//! Refresh the baseline by copying a fresh `BENCH_results.json` over
+//! `crates/bench/BENCH_baseline.json` (and say so in the PR — baselines
+//! are machine-specific, so CI treats this gate as advisory).
+
+use mcnetkat_bench::Table;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `cargo bench` writes the dump with the *package* directory as CWD,
+    // while this binary usually runs from the workspace root — accept the
+    // default file names from either location.
+    let current_path = args.first().map(String::as_str).map_or_else(
+        || first_existing(&["BENCH_results.json", "crates/bench/BENCH_results.json"]),
+        str::to_string,
+    );
+    let current_path = current_path.as_str();
+    let baseline_path = args.get(1).map(String::as_str).map_or_else(
+        || first_existing(&["crates/bench/BENCH_baseline.json", "BENCH_baseline.json"]),
+        str::to_string,
+    );
+    let baseline_path = baseline_path.as_str();
+    let threshold_pct: f64 = args.get(2).map_or(15.0, |s| {
+        s.parse().expect("threshold must be a number (percent)")
+    });
+
+    let current = match load(current_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {current_path}: {e}");
+            eprintln!("hint: run `cargo bench -p mcnetkat-bench` first");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match load(baseline_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("comparing {current_path} against {baseline_path} (threshold {threshold_pct}%)\n");
+    let mut table = Table::new(&["benchmark", "baseline", "current", "delta", "verdict"]);
+    let mut regressions = 0usize;
+    for (name, &base_ns) in &baseline {
+        let Some(&cur_ns) = current.get(name) else {
+            table.row(vec![
+                name.clone(),
+                fmt_ns(base_ns),
+                "—".into(),
+                "—".into(),
+                "missing".into(),
+            ]);
+            continue;
+        };
+        let delta_pct = (cur_ns - base_ns) / base_ns * 100.0;
+        let verdict = if delta_pct > threshold_pct {
+            regressions += 1;
+            "REGRESSED"
+        } else if delta_pct < -threshold_pct {
+            "improved"
+        } else {
+            "ok"
+        };
+        table.row(vec![
+            name.clone(),
+            fmt_ns(base_ns),
+            fmt_ns(cur_ns),
+            format!("{delta_pct:+.1}%"),
+            verdict.into(),
+        ]);
+    }
+    for name in current.keys().filter(|n| !baseline.contains_key(*n)) {
+        table.row(vec![
+            name.clone(),
+            "—".into(),
+            fmt_ns(current[name]),
+            "—".into(),
+            "new".into(),
+        ]);
+    }
+    table.print();
+
+    if regressions > 0 {
+        eprintln!("\nwarning: {regressions} benchmark(s) regressed by more than {threshold_pct}%");
+        ExitCode::FAILURE
+    } else {
+        println!("\nno regressions beyond {threshold_pct}%");
+        ExitCode::SUCCESS
+    }
+}
+
+/// The most recently modified candidate that exists on disk, else the
+/// first candidate (so the error message names the preferred location).
+/// Mtime ordering matters: a stale dump at one location must not shadow a
+/// fresh one at the other.
+fn first_existing(candidates: &[&str]) -> String {
+    let existing: Vec<&&str> = candidates
+        .iter()
+        .filter(|p| std::path::Path::new(p).exists())
+        .collect();
+    if existing.len() > 1 {
+        eprintln!("note: multiple candidates exist ({existing:?}); using the newest");
+    }
+    existing
+        .into_iter()
+        .max_by_key(|p| {
+            std::fs::metadata(p)
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH)
+        })
+        .unwrap_or(&candidates[0])
+        .to_string()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse_flat_json(&text)
+}
+
+/// Parses the shim's dump format: one flat JSON object mapping string
+/// keys to numbers. Not a general JSON parser — nested values are
+/// rejected — but accepts any whitespace layout.
+fn parse_flat_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut map = BTreeMap::new();
+    let mut chars = text.chars().peekable();
+    skip_ws(&mut chars);
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        return Ok(map);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = parse_number(&mut chars)?;
+        map.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => return Ok(map),
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some(c) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, found {other:?}")),
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some(c @ ('"' | '\\' | '/')) => out.push(c),
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_number(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<f64, String> {
+    let mut lit = String::new();
+    while chars
+        .peek()
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+    {
+        lit.push(chars.next().unwrap());
+    }
+    lit.parse().map_err(|e| format!("bad number {lit:?}: {e}"))
+}

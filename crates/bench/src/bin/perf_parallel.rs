@@ -1,0 +1,62 @@
+//! Perf harness for the parallel backend: compiles fattree(p)+f1/1000
+//! at several worker counts and reports wall-clock times plus the
+//! `while`-loop cache hit rate. Used to produce the before/after evidence
+//! for merge/loop-pipeline PRs.
+//!
+//! `MCNETKAT_SCALE=paper` adds fattree(8); the default stops at
+//! fattree(6) so the harness finishes in seconds.
+
+use mcnetkat_bench::{scale, secs, timed, Scale, Table};
+use mcnetkat_fdd::Manager;
+use mcnetkat_net::{compile_model_parallel, FailureModel, NetworkModel, RoutingScheme};
+use mcnetkat_num::Ratio;
+use mcnetkat_topo::fattree;
+
+fn main() {
+    let ps: &[usize] = match scale() {
+        Scale::Small => &[6],
+        Scale::Paper => &[6, 8],
+    };
+    let ncpu = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("parallel-backend perf (f = 1/1000, {ncpu} cores)\n");
+    let mut table = Table::new(&["topology", "workers", "time", "speedup"]);
+    for &p in ps {
+        let topo = fattree(p);
+        let dst = topo.find("edge0_0").unwrap();
+        let model = NetworkModel::new(
+            topo,
+            dst,
+            RoutingScheme::Ecmp,
+            FailureModel::independent(Ratio::new(1, 1000)),
+        );
+        let mut base = None;
+        for w in [1usize, 2, 4] {
+            let mgr = Manager::new();
+            let (res, t) = timed(|| compile_model_parallel(&mgr, &model, w, &Default::default()));
+            res.expect("parallel compile");
+            let baseline = *base.get_or_insert(t);
+            table.row(vec![
+                format!("fattree({p})"),
+                w.to_string(),
+                secs(t),
+                format!("{:.2}x", baseline / t),
+            ]);
+            // A second compile of the same model in the same manager hits
+            // the `while`-solution cache (among others): the loop solve —
+            // the sequential tail's dominant cost — is skipped entirely.
+            if w == 4 {
+                let (res, t2) =
+                    timed(|| compile_model_parallel(&mgr, &model, w, &Default::default()));
+                res.expect("parallel recompile");
+                let stats = mgr.while_cache_stats();
+                table.row(vec![
+                    format!("fattree({p})"),
+                    format!("{w} (recompile)"),
+                    secs(t2),
+                    format!("{:.2}x ({}h/{}m)", baseline / t2, stats.hits, stats.misses),
+                ]);
+            }
+        }
+    }
+    table.print();
+}

@@ -30,6 +30,31 @@ impl Default for CompileOptions {
     }
 }
 
+/// The slice of [`CompileOptions`] that can change a `while` loop's
+/// compiled diagram — the key of the manager's loop-solution cache.
+///
+/// All three fields matter: `state_limit` decides whether a loop compiles
+/// at all, and `backend`/`exact_threshold` select the solver arithmetic,
+/// which changes the (float-path) leaf probabilities. Leaving any of them
+/// out would let a solution computed under one configuration answer a
+/// query made under another.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct OptsKey {
+    backend: SolverBackend,
+    state_limit: usize,
+    exact_threshold: usize,
+}
+
+impl From<&CompileOptions> for OptsKey {
+    fn from(opts: &CompileOptions) -> OptsKey {
+        OptsKey {
+            backend: opts.backend,
+            state_limit: opts.state_limit,
+            exact_threshold: opts.exact_threshold,
+        }
+    }
+}
+
 /// Errors produced by the compiler.
 #[derive(Debug, Clone)]
 pub enum CompileError {
@@ -112,6 +137,13 @@ impl Manager {
     /// assembles the loop body out of per-switch diagrams compiled on
     /// worker threads.
     ///
+    /// Solutions are memoised per (guard, body, options): repeated loops
+    /// — identical sub-chains across routing schemes or failure models —
+    /// skip the absorbing-chain solve entirely. [`Manager::while_cache_stats`]
+    /// reports the hit rate. Only successful solves are cached; errors
+    /// (e.g. [`CompileError::StateSpaceTooLarge`]) are re-derived so each
+    /// call observes its own options.
+    ///
     /// # Errors
     ///
     /// See [`CompileError`].
@@ -121,7 +153,13 @@ impl Manager {
         body: Fdd,
         opts: &CompileOptions,
     ) -> Result<Fdd, CompileError> {
-        loops::compile_while(self, guard, body, opts)
+        let key = OptsKey::from(opts);
+        if let Some(hit) = self.while_cache_lookup(guard, body, &key) {
+            return Ok(hit);
+        }
+        let result = loops::compile_while(self, guard, body, opts)?;
+        self.while_cache_store(guard, body, key, result);
+        Ok(result)
     }
 
     /// Compiles a guarded program with explicit options.
@@ -156,7 +194,7 @@ impl Manager {
             Prog::While(t, body) => {
                 let guard = self.compile_pred(t);
                 let fbody = self.compile_with(body, opts)?;
-                loops::compile_while(self, guard, fbody, opts)
+                self.while_loop(guard, fbody, opts)
             }
             Prog::Local(f, n, body) => {
                 let enter = self.leaf(ActionDist::dirac(Action::assign(*f, *n)));
@@ -256,6 +294,49 @@ mod tests {
         assert_eq!(fdd, mgr.compile(&Prog::assign(f, 3)).unwrap());
         let contradiction = Prog::assign(f, 3).seq(Prog::test(f, 4));
         assert_eq!(mgr.compile(&contradiction).unwrap(), mgr.fail());
+    }
+
+    #[test]
+    fn while_solutions_are_memoised_per_options() {
+        let mgr = Manager::new();
+        let f = Field::named("cmp_wc");
+        let body = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 2), Prog::skip());
+        let prog = Prog::while_(Pred::test(f, 0), body);
+        let a = mgr.compile(&prog).unwrap();
+        let s1 = mgr.while_cache_stats();
+        assert_eq!((s1.hits, s1.misses), (0, 1));
+        // Same loop again: answered from the cache, no new solve.
+        let b = mgr.compile(&prog).unwrap();
+        assert_eq!(a, b);
+        let s2 = mgr.while_cache_stats();
+        assert_eq!((s2.hits, s2.misses), (1, 1));
+        // Different options form a different key: the float path must not
+        // be answered by the exact-path solution.
+        let opts = CompileOptions {
+            exact_threshold: 0,
+            ..CompileOptions::default()
+        };
+        mgr.compile_with(&prog, &opts).unwrap();
+        let s3 = mgr.while_cache_stats();
+        assert_eq!((s3.hits, s3.misses), (1, 2));
+        assert_eq!(s3.entries, 2);
+    }
+
+    #[test]
+    fn while_errors_are_not_cached() {
+        let mgr = Manager::new();
+        let f = Field::named("cmp_we");
+        let prog = Prog::while_(Pred::test(f, 0), Prog::assign(f, 1));
+        let tiny = CompileOptions {
+            state_limit: 1,
+            ..CompileOptions::default()
+        };
+        assert!(matches!(
+            mgr.compile_with(&prog, &tiny),
+            Err(CompileError::StateSpaceTooLarge { .. })
+        ));
+        // The failure must not poison other option sets.
+        mgr.compile(&prog).unwrap();
     }
 
     #[test]

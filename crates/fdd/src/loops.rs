@@ -48,32 +48,42 @@ pub fn compile_while(
 
     // 2. Explore the chain from every input class.
     //    State 0 is ∅; symbolic packets are states 1….
+    //    The state limit is enforced inside `intern` — a single body
+    //    evaluation can discover many successor states, so checking only
+    //    between evaluations would let the state set overshoot the limit
+    //    arbitrarily far before the next check.
+    let limit = opts.state_limit;
     let mut index: HashMap<SymPkt, usize> = HashMap::new();
     let mut states: Vec<SymPkt> = Vec::new();
     let mut worklist: Vec<usize> = Vec::new();
-    let mut intern = |pk: SymPkt, states: &mut Vec<SymPkt>, worklist: &mut Vec<usize>| -> usize {
+    let mut intern = |pk: SymPkt,
+                      states: &mut Vec<SymPkt>,
+                      worklist: &mut Vec<usize>|
+     -> Result<usize, CompileError> {
         if let Some(&ix) = index.get(&pk) {
-            return ix;
+            return Ok(ix);
+        }
+        // `states.len() + 2` counts DROP_STATE plus the state about to be
+        // interned.
+        if states.len() + 2 > limit {
+            return Err(CompileError::StateSpaceTooLarge {
+                discovered: states.len() + 2,
+                limit,
+            });
         }
         let ix = states.len() + 1; // offset for DROP_STATE
         index.insert(pk.clone(), ix);
         states.push(pk);
         worklist.push(ix);
-        ix
+        Ok(ix)
     };
     for class in &input_classes {
-        intern(class.clone(), &mut states, &mut worklist);
+        intern(class.clone(), &mut states, &mut worklist)?;
     }
     // transitions[s] = (absorbing?, [(target, prob)])
     let mut rows: HashMap<usize, Vec<(usize, Ratio)>> = HashMap::new();
     let mut absorbing: Vec<usize> = vec![DROP_STATE];
     while let Some(ix) = worklist.pop() {
-        if states.len() + 1 > opts.state_limit {
-            return Err(CompileError::StateSpaceTooLarge {
-                discovered: states.len() + 1,
-                limit: opts.state_limit,
-            });
-        }
         let pk = states[ix - 1].clone();
         let gd = mgr.eval_sym(guard, &pk);
         if gd.is_drop() {
@@ -88,7 +98,7 @@ pub fn compile_while(
         for (action, r) in dist.iter() {
             let target = match pk.apply(action) {
                 None => DROP_STATE,
-                Some(next) => intern(next, &mut states, &mut worklist),
+                Some(next) => intern(next, &mut states, &mut worklist)?,
             };
             row.push((target, r.clone()));
         }
@@ -382,6 +392,38 @@ mod tests {
         let d = mgr.eval(fdd, &input);
         let outs: Vec<_> = d.iter().map(|(a, _)| a.apply(&input)).collect();
         assert_eq!(outs, vec![Some(input.with(f, 1))]);
+    }
+
+    #[test]
+    fn state_limit_enforced_within_one_body_evaluation() {
+        // A single body evaluation discovers 8 successor states at once.
+        // The limit must trip *during* that evaluation (inside `intern`),
+        // not at the next worklist pop — so the discovered count can
+        // overshoot the limit by at most the one state being interned.
+        let mgr = Manager::new();
+        let f = field("lp_f7");
+        let g = field("lp_g7");
+        let branches: Vec<(Prog, Ratio)> = (1..=8u32)
+            .map(|i| (Prog::assign(g, i), Ratio::new(1, 8)))
+            .collect();
+        let prog = Prog::while_(Pred::test(f, 0), Prog::choice(branches));
+        let limit = 5;
+        let opts = CompileOptions {
+            state_limit: limit,
+            ..CompileOptions::default()
+        };
+        match mgr.compile_with(&prog, &opts).unwrap_err() {
+            CompileError::StateSpaceTooLarge {
+                discovered,
+                limit: l,
+            } => {
+                assert_eq!(l, limit);
+                assert_eq!(discovered, limit + 1, "limit trips without overshoot");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // A permissive limit compiles the same loop fine.
+        mgr.compile(&prog).unwrap();
     }
 
     #[test]

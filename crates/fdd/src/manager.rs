@@ -12,6 +12,7 @@
 //! values. Together with hash-consing this makes structurally equal FDDs
 //! pointer-equal.
 
+use crate::compile::OptsKey;
 use crate::{Action, ActionDist, Domain, SymPkt};
 use mcnetkat_core::{Field, Packet, Value};
 use mcnetkat_num::Ratio;
@@ -44,6 +45,28 @@ struct Inner {
     restrict_ne_cache: HashMap<(Fdd, Field, Value), Fdd>,
     scale_cache: HashMap<(Fdd, Ratio), Fdd>,
     prepend_cache: HashMap<(Fdd, Action), Fdd>,
+    // Memoised `while`-loop solutions (see `Manager::while_loop`). The key
+    // must include every option that can change the result: `state_limit`
+    // bounds which loops solve at all, and `backend`/`exact_threshold`
+    // select the arithmetic, so the same (guard, body) can legitimately
+    // yield different diagrams under different options.
+    while_cache: HashMap<(Fdd, Fdd, OptsKey), Fdd>,
+    while_hits: u64,
+    while_misses: u64,
+}
+
+/// Hit/miss counters for the manager's `while`-loop solution cache.
+///
+/// Returned by [`Manager::while_cache_stats`]; benchmarks use it to report
+/// how much loop solving was skipped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WhileCacheStats {
+    /// Loops answered from the cache.
+    pub hits: u64,
+    /// Loops that had to be solved.
+    pub misses: u64,
+    /// Distinct (guard, body, options) keys currently cached.
+    pub entries: usize,
 }
 
 /// An FDD store: owns the node table, the hash-cons map, and the operation
@@ -283,6 +306,39 @@ impl Manager {
 
     pub(crate) fn node(&self, p: Fdd) -> Node {
         self.inner.lock().nodes[p.0 as usize].clone()
+    }
+
+    /// Looks up a memoised `while`-loop solution, counting the outcome.
+    pub(crate) fn while_cache_lookup(&self, guard: Fdd, body: Fdd, key: &OptsKey) -> Option<Fdd> {
+        let mut inner = self.inner.lock();
+        match inner.while_cache.get(&(guard, body, key.clone())).copied() {
+            Some(hit) => {
+                inner.while_hits += 1;
+                Some(hit)
+            }
+            None => {
+                inner.while_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a solved `while` loop in the memo cache.
+    pub(crate) fn while_cache_store(&self, guard: Fdd, body: Fdd, key: OptsKey, result: Fdd) {
+        self.inner
+            .lock()
+            .while_cache
+            .insert((guard, body, key), result);
+    }
+
+    /// Hit/miss counters of the `while`-loop solution cache.
+    pub fn while_cache_stats(&self) -> WhileCacheStats {
+        let inner = self.inner.lock();
+        WhileCacheStats {
+            hits: inner.while_hits,
+            misses: inner.while_misses,
+            entries: inner.while_cache.len(),
+        }
     }
 }
 

@@ -18,7 +18,7 @@ use crate::{gauss_seidel, jacobi, DenseMatrix, IterativeOptions, LinalgError, Sp
 use mcnetkat_num::Ratio;
 
 /// Which linear-solver backend computes `(I − Q)^{-1} R`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum SolverBackend {
     /// Sparse left-looking LU (the UMFPACK-replacement production path).
     #[default]

@@ -1,7 +1,27 @@
 //! The parallelising backend of §6 ("Parallel speedup"): per-switch
 //! policies are compiled on worker threads — each with a private FDD
 //! manager, mirroring the paper's per-process workers — and merged
-//! map-reduce style into the main manager.
+//! map/tree-reduce style into the main manager.
+//!
+//! # Pipeline
+//!
+//! 1. **Map.** The switch set is split into contiguous chunks, one per
+//!    worker. Each worker compiles its per-switch programs in a private
+//!    manager *and* folds them into a partial `case` chain locally:
+//!    `if sw=s₁ then p₁ else if sw=s₂ then p₂ … else drop`, together with
+//!    the matching guard `sw∈{s₁,…}`. Guard and chain leave the worker as
+//!    one multi-root [`FddExport`] with a shared node table.
+//! 2. **Tree-reduce.** Partial chains are merged pairwise in parallel
+//!    rounds, each merge in a fresh scratch manager:
+//!    `merge(A, B) = if guard_A then chain_A else chain_B` (sound because
+//!    chunk switch sets are disjoint). After ⌈log₂ workers⌉ rounds a
+//!    single export remains.
+//! 3. **Import + sequential tail.** The main manager performs *one*
+//!    import of the fully merged policy — instead of the seed's
+//!    O(switches) imports and `ite` folds — then compiles the cheap
+//!    remainder (topology, loop, wrappers). The `while` solve goes
+//!    through [`Manager::while_loop`], so repeated loops across models
+//!    sharing a manager hit the loop-solution cache.
 
 use crate::NetworkModel;
 use mcnetkat_core::Prog;
@@ -12,7 +32,8 @@ use mcnetkat_topo::ShortestPaths;
 ///
 /// Returns the diagram in `mgr`. With `workers == 1` this degenerates to a
 /// sequential compile through the same code path (useful as the baseline
-/// for speedup measurements).
+/// for speedup measurements). `opts` governs every compile performed by
+/// this function, on worker threads and in `mgr` alike.
 ///
 /// # Errors
 ///
@@ -32,63 +53,122 @@ pub fn compile_model_parallel(
         .map(|&s| (model.topo.sw_value(s), model.switch_policy(s, &sp)))
         .collect();
 
-    // Map: compile per-switch programs on worker threads, each with its
-    // own manager (no shared locks), then export the results.
-    let chunk = switch_progs.len().div_ceil(workers);
-    let mut exported: Vec<(u32, FddExport)> = Vec::with_capacity(switch_progs.len());
+    // Map: each worker compiles its chunk and builds the partial `case`
+    // chain (and its guard) inside a private manager.
+    let chunk = switch_progs.len().div_ceil(workers).max(1);
+    let mut parts: Vec<FddExport> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for work in switch_progs.chunks(chunk.max(1)) {
-            handles.push(scope.spawn(move || {
-                let local = Manager::new();
-                work.iter()
-                    .map(|(sw, prog)| {
-                        local
-                            .compile_with(prog, &CompileOptions::default())
-                            .map(|fdd| (*sw, local.export(fdd)))
-                    })
-                    .collect::<Result<Vec<_>, CompileError>>()
-            }));
+        for work in switch_progs.chunks(chunk) {
+            handles.push(scope.spawn(move || compile_chunk(model, work, opts)));
         }
         for handle in handles {
-            let batch = handle.join().expect("worker panicked")?;
-            exported.extend(batch);
+            parts.push(handle.join().expect("worker panicked")?);
         }
         Ok::<(), CompileError>(())
     })?;
 
-    // Reduce: import into the main manager and fold the disjoint `case`.
-    let mut policy = mgr.fail();
-    for (sw, export) in exported.into_iter().rev() {
-        let branch = mgr.import(&export);
-        let test = mgr.branch(model.fields.sw, sw, mgr.pass(), mgr.fail());
-        policy = mgr.ite(test, branch, policy);
-    }
+    // Tree-reduce: merge the partial chains pairwise in parallel rounds
+    // until at most two remain; the last merge runs in the main manager
+    // directly, saving a scratch-manager round trip of the full policy.
+    let parts = tree_reduce(parts);
+    let policy = match parts.as_slice() {
+        [] => mgr.fail(), // no switches: the policy drops everything
+        [only] => mgr.import_all(only)[1],
+        [a, b] => {
+            let ra = mgr.import_all(a);
+            let rb = mgr.import_all(b);
+            mgr.ite(ra[0], ra[1], rb[1])
+        }
+        _ => unreachable!("tree_reduce leaves at most two parts"),
+    };
 
     // Sequential tail: topology, counter, erasure, loop, wrappers. These
     // are cheap compared to the per-switch map phase.
-    let topo_fdd = mgr.compile(&model.topology_program())?;
+    let topo_fdd = mgr.compile_with(&model.topology_program(), opts)?;
     let mut body = mgr.seq(policy, topo_fdd);
     // Hop counting + flag erasure (mirrors `NetworkModel::body`).
     let remainder = body_remainder(model);
-    let rem_fdd = mgr.compile(&remainder)?;
+    let rem_fdd = mgr.compile_with(&remainder, opts)?;
     body = mgr.seq(body, rem_fdd);
 
     let guard = mgr.compile_pred(&model.guard());
     let loop_fdd = mgr.while_loop(guard, body, opts)?;
     let do_while = mgr.seq(body, loop_fdd);
 
-    let ingress = mgr.compile(&Prog::filter(model.ingress_pred()))?;
+    let ingress = mgr.compile_with(&Prog::filter(model.ingress_pred()), opts)?;
     let with_in = mgr.seq(ingress, do_while);
-    let normalise = mgr.compile(&Prog::assign(model.fields.pt, 0))?;
+    let normalise = mgr.compile_with(&Prog::assign(model.fields.pt, 0), opts)?;
     let core = mgr.seq(with_in, normalise);
 
     // Local-variable wrappers (enter assignments before, erasures after).
     let (pre, post) = local_wrappers(model);
-    let pre_fdd = mgr.compile(&pre)?;
-    let post_fdd = mgr.compile(&post)?;
+    let pre_fdd = mgr.compile_with(&pre, opts)?;
+    let post_fdd = mgr.compile_with(&post, opts)?;
     let tmp = mgr.seq(core, post_fdd);
     Ok(mgr.seq(pre_fdd, tmp))
+}
+
+/// Compiles one worker's chunk of per-switch programs and folds them into
+/// a partial `case` chain in a private manager. Returns a two-root export:
+/// `[guard, chain]` where `guard` tests `sw ∈ chunk` and `chain` behaves
+/// like the switch policy on matching packets and drops everything else.
+fn compile_chunk(
+    model: &NetworkModel,
+    work: &[(u32, Prog)],
+    opts: &CompileOptions,
+) -> Result<FddExport, CompileError> {
+    let local = Manager::new();
+    let mut chain = local.fail();
+    let mut guard = local.fail();
+    for (sw, prog) in work.iter().rev() {
+        let branch = local.compile_with(prog, opts)?;
+        let test = local.branch(model.fields.sw, *sw, local.pass(), local.fail());
+        chain = local.ite(test, branch, chain);
+        guard = local.ite(test, local.pass(), guard);
+    }
+    Ok(local.export_all(&[guard, chain]))
+}
+
+/// Merges partial `[guard, chain]` exports pairwise in parallel rounds
+/// until at most two remain (the caller finishes in the main manager).
+/// Sound because the chunks cover disjoint `sw` values:
+/// `if guard_A then chain_A else chain_B` never shadows a `B` branch.
+fn tree_reduce(mut parts: Vec<FddExport>) -> Vec<FddExport> {
+    while parts.len() > 2 {
+        let mut round: Vec<FddExport> = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut iter = parts.into_iter();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    Some(b) => handles.push(Some(scope.spawn(move || merge_pair(&a, &b)))),
+                    None => {
+                        // Odd part out: carried into the next round as is.
+                        round.push(a);
+                        handles.push(None);
+                    }
+                }
+            }
+            for handle in handles.into_iter().flatten() {
+                round.push(handle.join().expect("merge worker panicked"));
+            }
+        });
+        parts = round;
+    }
+    parts
+}
+
+/// Merges two partial chains in a scratch manager and re-exports.
+fn merge_pair(a: &FddExport, b: &FddExport) -> FddExport {
+    let scratch = Manager::new();
+    let ra = scratch.import_all(a);
+    let rb = scratch.import_all(b);
+    let (guard_a, chain_a) = (ra[0], ra[1]);
+    let (guard_b, chain_b) = (rb[0], rb[1]);
+    let guard = scratch.ite(guard_a, scratch.pass(), guard_b);
+    let chain = scratch.ite(guard_a, chain_a, chain_b);
+    scratch.export_all(&[guard, chain])
 }
 
 /// The part of the loop body that follows `p ; t̂`: hop counting and flag
@@ -152,7 +232,39 @@ mod tests {
         let m = model();
         let mgr = Manager::new();
         let sequential = m.compile(&mgr).unwrap();
-        for workers in [1, 2, 4] {
+        // Includes worker counts that do not divide the switch count and
+        // exceed the core count.
+        for workers in [1, 2, 3, 4, 7] {
+            let parallel = compile_model_parallel(&mgr, &m, workers, &Default::default()).unwrap();
+            assert!(mgr.equiv(sequential, parallel), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_more_workers_than_switches() {
+        let m = model();
+        let switches = m.topo.switches().len();
+        let mgr = Manager::new();
+        let sequential = m.compile(&mgr).unwrap();
+        let parallel = compile_model_parallel(&mgr, &m, switches + 5, &Default::default()).unwrap();
+        assert!(mgr.equiv(sequential, parallel));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_bounded_failures() {
+        // A non-trivial failure model: at most 2 concurrent failures with
+        // the 5-hop F10 rerouting scheme.
+        let topo = ab_fattree(4);
+        let dst = topo.find("edge0_0").unwrap();
+        let m = NetworkModel::new(
+            topo,
+            dst,
+            RoutingScheme::F10_3_5,
+            FailureModel::bounded(Ratio::new(1, 10), 2),
+        );
+        let mgr = Manager::new();
+        let sequential = m.compile(&mgr).unwrap();
+        for workers in [3, 7] {
             let parallel = compile_model_parallel(&mgr, &m, workers, &Default::default()).unwrap();
             assert!(mgr.equiv(sequential, parallel), "workers = {workers}");
         }
@@ -167,5 +279,43 @@ mod tests {
         let seq_q = Queries::new(&mgr, &m).unwrap();
         let src = m.topo.find("edge1_0").unwrap();
         assert_eq!(q.delivery_prob(src), seq_q.delivery_prob(src));
+    }
+
+    #[test]
+    fn parallel_respects_state_limit_like_sequential() {
+        // Regression: workers used to compile with `CompileOptions::default()`
+        // regardless of the caller's options. A tiny state limit must make
+        // the parallel path fail with the same error as the sequential one.
+        let m = model();
+        let opts = CompileOptions {
+            state_limit: 4,
+            ..CompileOptions::default()
+        };
+        let mgr = Manager::new();
+        let seq_err = m.compile_with(&mgr, &opts).unwrap_err();
+        assert!(
+            matches!(seq_err, CompileError::StateSpaceTooLarge { .. }),
+            "sequential: {seq_err}"
+        );
+        for workers in [1, 4] {
+            let par_err = compile_model_parallel(&mgr, &m, workers, &opts).unwrap_err();
+            assert!(
+                matches!(par_err, CompileError::StateSpaceTooLarge { .. }),
+                "workers = {workers}: {par_err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_loop_solutions_hit_the_cache_on_recompile() {
+        let m = model();
+        let mgr = Manager::new();
+        let first = compile_model_parallel(&mgr, &m, 2, &Default::default()).unwrap();
+        let misses_after_first = mgr.while_cache_stats().misses;
+        let second = compile_model_parallel(&mgr, &m, 3, &Default::default()).unwrap();
+        assert!(mgr.equiv(first, second));
+        let stats = mgr.while_cache_stats();
+        assert!(stats.hits >= 1, "expected a cache hit, got {stats:?}");
+        assert_eq!(stats.misses, misses_after_first, "no new loop solves");
     }
 }

@@ -8,12 +8,23 @@
 //! honest but simple — per benchmark it runs a warm-up iteration, then
 //! samples wall-clock time until a time budget (or the group's
 //! `sample_size`) is exhausted and reports min/mean/max to stdout. There
-//! are no statistical refinements, HTML reports, or baselines.
+//! are no statistical refinements or HTML reports.
+//!
+//! For regression tracking, [`criterion_main!`] additionally dumps every
+//! benchmark's **median** (in nanoseconds) as a flat JSON object to
+//! `BENCH_results.json` in the working directory — override the path with
+//! the `CRITERION_RESULTS_PATH` environment variable, or set it to the
+//! empty string to disable the dump. The `bench_compare` binary in
+//! `crates/bench` diffs such a dump against a checked-in baseline.
 //!
 //! [`criterion`]: https://docs.rs/criterion
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Completed measurements: `(label, median)` in benchmark order.
+static RESULTS: Mutex<Vec<(String, Duration)>> = Mutex::new(Vec::new());
 
 /// Re-export of `std::hint::black_box`, criterion's optimization barrier.
 pub use std::hint::black_box;
@@ -159,6 +170,11 @@ fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let mean = total / b.samples.len() as u32;
     let min = *b.samples.iter().min().unwrap();
     let max = *b.samples.iter().max().unwrap();
+    let median = {
+        let mut sorted = b.samples.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    };
     println!(
         "{label:<40} min {:>12?}  mean {:>12?}  max {:>12?}  ({} samples)",
         min,
@@ -166,6 +182,38 @@ fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
         max,
         b.samples.len()
     );
+    RESULTS
+        .lock()
+        .expect("results registry poisoned")
+        .push((label.to_string(), median));
+}
+
+/// Writes the recorded medians as flat JSON (`{"label": nanos, …}`).
+///
+/// Called by [`criterion_main!`] after all groups run. The destination is
+/// `BENCH_results.json` unless `CRITERION_RESULTS_PATH` overrides it; an
+/// empty override disables the dump. IO failures print a warning rather
+/// than failing the benchmark run.
+pub fn dump_results() {
+    let path = std::env::var("CRITERION_RESULTS_PATH")
+        .unwrap_or_else(|_| "BENCH_results.json".to_string());
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().expect("results registry poisoned");
+    let mut json = String::from("{\n");
+    for (i, (label, median)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        // Labels come from benchmark ids: no quotes/backslashes in
+        // practice, but escape defensively so the output stays valid JSON.
+        let escaped = label.replace('\\', "\\\\").replace('"', "\\\"");
+        json.push_str(&format!("  \"{escaped}\": {}{sep}\n", median.as_nanos()));
+    }
+    json.push_str("}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {} benchmark medians to {path}", results.len()),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
 }
 
 /// Declares a function running the listed benchmarks in order.
@@ -180,11 +228,14 @@ macro_rules! criterion_group {
 }
 
 /// Declares `main` for a benchmark binary (requires `harness = false`).
+///
+/// After the groups run, medians are dumped via [`dump_results`].
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:ident),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::dump_results();
         }
     };
 }
