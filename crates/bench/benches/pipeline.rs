@@ -13,7 +13,10 @@ use mcnetkat_topo::fattree;
 fn bench_fattree_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("fattree_compile");
     group.sample_size(10);
-    for p in [4usize, 6] {
+    // p = 8 is the ROADMAP's scaling frontier (85× slower than p = 6
+    // before the allocation-free hot path); tracking it here keeps the
+    // regression gate pointed at the number that matters for p = 16+.
+    for p in [4usize, 6, 8] {
         let topo = fattree(p);
         let dst = topo.find("edge0_0").unwrap();
         for (label, failure) in [

@@ -1,0 +1,132 @@
+//! Perf profile of the FDD compile path: stage timings, node/distribution
+//! counts, and per-cache hit rates for fattree(6) and fattree(8) with the
+//! paper's f = 1/1000 independent failure model.
+//!
+//! This is the harness behind the ROADMAP's "profile the FDD compile
+//! path" item: it splits a cold `NetworkModel::compile` into its stages
+//! (AST assembly, loop-body FDD compilation, the absorbing-chain `while`
+//! solve) and dumps `Manager::op_cache_stats()` so regressions in cache
+//! effectiveness are visible, not just wall-clock drift.
+//!
+//! Output: human tables on stdout, plus a flat JSON dump of per-cache hit
+//! rates (percent) to `BENCH_opcache.json` — `bench_compare` appends this
+//! to its report when present. Override the path with
+//! `MCNETKAT_OPCACHE_PATH`; set it to the empty string to disable.
+//!
+//! `MCNETKAT_SCALE=paper` adds fattree(10) to approach the paper's p=16+
+//! ambitions; the default profile (6 and 8) finishes in ~1 s.
+
+use mcnetkat_bench::{scale, secs, timed, Scale, Table};
+use mcnetkat_fdd::{CompileOptions, Manager};
+use mcnetkat_net::{FailureModel, NetworkModel, RoutingScheme};
+use mcnetkat_num::Ratio;
+use mcnetkat_topo::fattree;
+
+fn main() {
+    let ps: &[usize] = match scale() {
+        Scale::Small => &[6, 8],
+        Scale::Paper => &[6, 8, 10],
+    };
+    println!("FDD compile-path profile (ECMP, f = 1/1000)\n");
+    let mut stages = Table::new(&[
+        "topology",
+        "ast",
+        "body fdd",
+        "while solve",
+        "cold total",
+        "nodes",
+        "dists",
+        "dist entries",
+    ]);
+    let mut rates: Vec<(String, f64)> = Vec::new();
+    let mut cache_rows: Vec<(String, Vec<String>)> = Vec::new();
+    for &p in ps {
+        let topo = fattree(p);
+        let dst = topo.find("edge0_0").unwrap();
+        let model = NetworkModel::new(
+            topo,
+            dst,
+            RoutingScheme::Ecmp,
+            FailureModel::independent(Ratio::new(1, 1000)),
+        );
+        let opts = CompileOptions::default();
+
+        // Stage timings in a dedicated manager so each stage is cold.
+        let (ast, t_ast) = timed(|| (model.body(), model.guard()));
+        let (body_prog, guard_pred) = ast;
+        let stage_mgr = Manager::new();
+        let (fbody, t_body) = timed(|| stage_mgr.compile_with(&body_prog, &opts).unwrap());
+        let fguard = stage_mgr.compile_pred(&guard_pred);
+        let (res, t_while) = timed(|| stage_mgr.while_loop(fguard, fbody, &opts));
+        res.expect("while solve");
+        // Free the stage manager before the end-to-end run so its tables
+        // don't distort the cold measurement's allocator behaviour.
+        drop(stage_mgr);
+
+        // The end-to-end number: a cold full-model compile.
+        let mgr = Manager::new();
+        let (res, t_total) = timed(|| model.compile(&mgr));
+        res.expect("cold compile");
+        let (dists, entries, _max) = mgr.dist_table_stats();
+        stages.row(vec![
+            format!("fattree({p})"),
+            secs(t_ast),
+            secs(t_body),
+            secs(t_while),
+            secs(t_total),
+            mgr.node_count().to_string(),
+            dists.to_string(),
+            entries.to_string(),
+        ]);
+
+        for c in mgr.op_cache_stats().caches {
+            if c.lookups() == 0 {
+                continue;
+            }
+            rates.push((format!("fattree{p}/{}", c.name), 100.0 * c.hit_rate()));
+            cache_rows.push((
+                format!("fattree({p})"),
+                vec![
+                    c.name.to_string(),
+                    c.hits.to_string(),
+                    c.misses.to_string(),
+                    c.entries.to_string(),
+                    format!("{:.1}%", 100.0 * c.hit_rate()),
+                ],
+            ));
+        }
+    }
+    stages.print();
+
+    println!("\nop-cache hit rates (cold full-model compile)");
+    let mut caches = Table::new(&["topology", "cache", "hits", "misses", "entries", "hit rate"]);
+    for (topo, row) in cache_rows {
+        let mut cells = vec![topo];
+        cells.extend(row);
+        caches.row(cells);
+    }
+    caches.print();
+
+    dump_rates(&rates);
+}
+
+/// Writes the hit rates as flat JSON (`{"label": percent, …}`), the same
+/// shape as the criterion shim's `BENCH_results.json`, so `bench_compare`
+/// can parse it with the machinery it already has.
+fn dump_rates(rates: &[(String, f64)]) {
+    let path =
+        std::env::var("MCNETKAT_OPCACHE_PATH").unwrap_or_else(|_| "BENCH_opcache.json".to_string());
+    if path.is_empty() {
+        return;
+    }
+    let mut json = String::from("{\n");
+    for (i, (label, rate)) in rates.iter().enumerate() {
+        let sep = if i + 1 == rates.len() { "" } else { "," };
+        json.push_str(&format!("  \"{label}\": {rate:.2}{sep}\n"));
+    }
+    json.push_str("}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {} op-cache hit rates to {path}", rates.len()),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

@@ -5,7 +5,9 @@
 
 use mcnetkat_core::{Field, Packet, Value};
 use mcnetkat_num::Ratio;
+use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// An FDD action: drop the packet, or apply a set of modifications.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -30,14 +32,20 @@ impl Action {
 
     /// Builds a modification set from pairs (later pairs win), sorted.
     pub fn mods<I: IntoIterator<Item = (Field, Value)>>(pairs: I) -> Action {
-        let mut mods: Vec<(Field, Value)> = Vec::new();
-        for (f, v) in pairs {
-            match mods.iter_mut().find(|(g, _)| *g == f) {
-                Some(slot) => slot.1 = v,
-                None => mods.push((f, v)),
+        let mut mods: Vec<(Field, Value)> = pairs.into_iter().collect();
+        // Stable sort keeps insertion order within equal fields, so the
+        // last-wins rule survives sorting; the dedup then keeps the later
+        // element of each equal-field run. The result stays sorted by
+        // field — the invariant `Action::lookup`'s binary search needs.
+        mods.sort_by_key(|&(f, _)| f);
+        mods.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 = later.1;
+                true
+            } else {
+                false
             }
-        }
-        mods.sort_unstable_by_key(|&(f, _)| f);
+        });
         Action::Mods(mods)
     }
 
@@ -104,16 +112,22 @@ impl fmt::Display for Action {
 /// A sub-distribution over actions: sorted by action, strictly positive
 /// probabilities. Total mass is 1 for fully built FDDs; intermediate sums
 /// during compilation may carry less.
+///
+/// Entries hold their [`Action`]s behind `Arc`s: distribution-level
+/// operations (`sum`, `scale`) are hot inside the FDD combinators, and
+/// sharing the action payloads turns the per-entry clone from a `Vec`
+/// allocation into a reference-count bump. Equality, ordering and hashing
+/// see through the `Arc` to the action value.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct ActionDist {
-    entries: Vec<(Action, Ratio)>,
+    entries: Vec<(Arc<Action>, Ratio)>,
 }
 
 impl ActionDist {
     /// The point mass on `a`.
     pub fn dirac(a: Action) -> ActionDist {
         ActionDist {
-            entries: vec![(a, Ratio::one())],
+            entries: vec![(Arc::new(a), Ratio::one())],
         }
     }
 
@@ -155,19 +169,42 @@ impl ActionDist {
         if r.is_zero() {
             return;
         }
-        match self.entries.binary_search_by(|(b, _)| b.cmp(&a)) {
+        match self.entries.binary_search_by(|(b, _)| b.as_ref().cmp(&a)) {
             Ok(ix) => self.entries[ix].1 += &r,
-            Err(ix) => self.entries.insert(ix, (a, r)),
+            Err(ix) => self.entries.insert(ix, (Arc::new(a), r)),
         }
     }
 
     /// Pointwise sum of two sub-distributions.
+    ///
+    /// Both operands are sorted by action, so this is a linear merge; the
+    /// shared-action case adds the probabilities (both strictly positive,
+    /// so the result never needs filtering).
     pub fn sum(&self, other: &ActionDist) -> ActionDist {
-        let mut out = self.clone();
-        for (a, r) in &other.entries {
-            out.add(a.clone(), r.clone());
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, ra) = &self.entries[i];
+            let (b, rb) = &other.entries[j];
+            match a.cmp(b) {
+                Ordering::Less => {
+                    out.push((a.clone(), ra.clone()));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push((b.clone(), rb.clone()));
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    out.push((a.clone(), ra + rb));
+                    i += 1;
+                    j += 1;
+                }
+            }
         }
-        out
+        out.extend_from_slice(&self.entries[i..]);
+        out.extend_from_slice(&other.entries[j..]);
+        ActionDist { entries: out }
     }
 
     /// Scales every probability by `r`.
@@ -186,13 +223,13 @@ impl ActionDist {
 
     /// Total probability mass.
     pub fn mass(&self) -> Ratio {
-        self.entries.iter().map(|(_, r)| r.clone()).sum()
+        self.entries.iter().map(|(_, r)| r).sum()
     }
 
     /// Probability of action `a`.
     pub fn prob(&self, a: &Action) -> Ratio {
         self.entries
-            .binary_search_by(|(b, _)| b.cmp(a))
+            .binary_search_by(|(b, _)| b.as_ref().cmp(a))
             .ok()
             .map(|ix| self.entries[ix].1.clone())
             .unwrap_or_else(Ratio::zero)
@@ -200,7 +237,7 @@ impl ActionDist {
 
     /// Iterates over `(action, probability)` pairs in action order.
     pub fn iter(&self) -> impl Iterator<Item = (&Action, &Ratio)> {
-        self.entries.iter().map(|(a, r)| (a, r))
+        self.entries.iter().map(|(a, r)| (a.as_ref(), r))
     }
 
     /// Number of actions with positive probability.
@@ -215,7 +252,7 @@ impl ActionDist {
 
     /// Returns `true` if this is the deterministic drop.
     pub fn is_drop(&self) -> bool {
-        self.entries.len() == 1 && self.entries[0].0 == Action::Drop && self.entries[0].1.is_one()
+        self.entries.len() == 1 && *self.entries[0].0 == Action::Drop && self.entries[0].1.is_one()
     }
 
     /// Maps every action through `f`, merging collisions.

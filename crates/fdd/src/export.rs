@@ -67,7 +67,7 @@ impl Manager {
             return ix;
         }
         let exported = match self.node(p) {
-            Node::Leaf(d) => ExportNode::Leaf(d),
+            Node::Leaf(did) => ExportNode::Leaf(self.leaf_dist(did).as_ref().clone()),
             Node::Branch {
                 field,
                 value,

@@ -85,7 +85,7 @@ pub fn compile_while(
     let mut absorbing: Vec<usize> = vec![DROP_STATE];
     while let Some(ix) = worklist.pop() {
         let pk = states[ix - 1].clone();
-        let gd = mgr.eval_sym(guard, &pk);
+        let gd = mgr.eval_sym_shared(guard, &pk);
         if gd.is_drop() {
             absorbing.push(ix);
             continue;
@@ -93,7 +93,7 @@ pub fn compile_while(
         if !gd.is_skip() {
             return Err(CompileError::ProbabilisticGuard);
         }
-        let dist = mgr.eval_sym(body, &pk);
+        let dist = mgr.eval_sym_shared(body, &pk);
         let mut row = Vec::with_capacity(dist.support_size());
         for (action, r) in dist.iter() {
             let target = match pk.apply(action) {

@@ -11,21 +11,44 @@
 //! tests `f` again, and the false-branch only tests `f` against larger
 //! values. Together with hash-consing this makes structurally equal FDDs
 //! pointer-equal.
+//!
+//! # Leaf interning
+//!
+//! Leaf distributions are *interned* alongside nodes: a [`Node`] stores a
+//! copyable [`DistId`] into a side table of `Arc<ActionDist>`s rather than
+//! the distribution itself. This makes `Node` a `Copy` type — the
+//! recursive combinators (`seq`, `sum`, `ite`, `restrict_*`, `scale`,
+//! `prepend`) copy a handful of words per visited node instead of cloning
+//! a `Vec<(Action, Ratio)>` — and lets distribution-level operations be
+//! memoised on ids (`dist_sum`/`dist_scale`/`dist_then`). All interior
+//! tables use the FxHash hasher: keys are trusted ids, so the DoS
+//! resistance of SipHash buys nothing and costs measurably on every memo
+//! lookup.
 
 use crate::compile::OptsKey;
 use crate::{Action, ActionDist, Domain, SymPkt};
+use fxhash::FxHashMap;
 use mcnetkat_core::{Field, Packet, Value};
 use mcnetkat_num::Ratio;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
 
 /// A handle to a hash-consed FDD node, valid within its [`Manager`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Fdd(u32);
 
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// A handle to an interned leaf distribution, valid within its [`Manager`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub(crate) struct DistId(u32);
+
+/// A handle to an interned [`Action`], valid within its [`Manager`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+struct ActId(u32);
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub(crate) enum Node {
-    Leaf(ActionDist),
+    Leaf(DistId),
     Branch {
         field: Field,
         value: Value,
@@ -34,25 +57,84 @@ pub(crate) enum Node {
     },
 }
 
+/// A memo table with hit/miss counters, behind the Fx hasher.
+struct Cache<K, V> {
+    map: FxHashMap<K, V>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K, V> Default for Cache<K, V> {
+    fn default() -> Self {
+        Cache {
+            map: FxHashMap::default(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash, V: Copy> Cache<K, V> {
+    fn get(&mut self, key: &K) -> Option<V> {
+        match self.map.get(key) {
+            Some(&v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        self.map.insert(key, value);
+    }
+
+    fn stats(&self, name: &'static str) -> OpCacheEntry {
+        OpCacheEntry {
+            name,
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+        }
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     nodes: Vec<Node>,
-    consed: HashMap<Node, Fdd>,
-    seq_cache: HashMap<(Fdd, Fdd), Fdd>,
-    sum_cache: HashMap<(Fdd, Fdd), Fdd>,
-    ite_cache: HashMap<(Fdd, Fdd, Fdd), Fdd>,
-    restrict_eq_cache: HashMap<(Fdd, Field, Value), Fdd>,
-    restrict_ne_cache: HashMap<(Fdd, Field, Value), Fdd>,
-    scale_cache: HashMap<(Fdd, Ratio), Fdd>,
-    prepend_cache: HashMap<(Fdd, Action), Fdd>,
+    consed: Cache<Node, Fdd>,
+    /// Interned leaf distributions; `DistId` indexes this table. The `Arc`
+    /// lets readers hand distributions out without deep-cloning them while
+    /// the manager lock is held.
+    dists: Vec<Arc<ActionDist>>,
+    dist_ids: FxHashMap<Arc<ActionDist>, DistId>,
+    /// Interned actions (the `prepend` modification sets), `Arc`-shared
+    /// between the table and the id map like `dists`.
+    actions: Vec<Arc<Action>>,
+    action_ids: FxHashMap<Arc<Action>, ActId>,
+    /// Distinguished leaves, created on first use (hot in `seq`).
+    pass_leaf: Option<Fdd>,
+    fail_leaf: Option<Fdd>,
+    zero_leaf: Option<Fdd>,
+    seq_cache: Cache<(Fdd, Fdd), Fdd>,
+    sum_cache: Cache<(Fdd, Fdd), Fdd>,
+    ite_cache: Cache<(Fdd, Fdd, Fdd), Fdd>,
+    restrict_eq_cache: Cache<(Fdd, Field, Value), Fdd>,
+    restrict_ne_cache: Cache<(Fdd, Field, Value), Fdd>,
+    scale_cache: Cache<(Fdd, Ratio), Fdd>,
+    prepend_cache: Cache<(Fdd, ActId), Fdd>,
+    dist_sum_cache: Cache<(DistId, DistId), DistId>,
+    dist_scale_cache: Cache<(DistId, Ratio), DistId>,
+    dist_then_cache: Cache<(ActId, DistId), DistId>,
     // Memoised `while`-loop solutions (see `Manager::while_loop`). The key
     // must include every option that can change the result: `state_limit`
     // bounds which loops solve at all, and `backend`/`exact_threshold`
     // select the arithmetic, so the same (guard, body) can legitimately
     // yield different diagrams under different options.
-    while_cache: HashMap<(Fdd, Fdd, OptsKey), Fdd>,
-    while_hits: u64,
-    while_misses: u64,
+    while_cache: Cache<(Fdd, Fdd, OptsKey), Fdd>,
 }
 
 /// Hit/miss counters for the manager's `while`-loop solution cache.
@@ -67,6 +149,56 @@ pub struct WhileCacheStats {
     pub misses: u64,
     /// Distinct (guard, body, options) keys currently cached.
     pub entries: usize,
+}
+
+/// Hit/miss counters for one operation cache.
+///
+/// Part of [`OpCacheStats`]; see [`Manager::op_cache_stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpCacheEntry {
+    /// Cache name (`"seq"`, `"cons"`, `"dist_sum"`, …).
+    pub name: &'static str,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then stored) a result.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl OpCacheEntry {
+    /// Fraction of lookups answered from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A snapshot of every operation cache's counters.
+///
+/// Returned by [`Manager::op_cache_stats`]. The `cons` entry counts
+/// hash-cons lookups (hits are structurally duplicate nodes); `dist_*`
+/// entries count the distribution-level memos enabled by leaf interning.
+#[derive(Clone, Debug, Default)]
+pub struct OpCacheStats {
+    /// Per-cache counters, in a stable reporting order.
+    pub caches: Vec<OpCacheEntry>,
+}
+
+impl OpCacheStats {
+    /// Looks up one cache's counters by name.
+    pub fn get(&self, name: &str) -> Option<&OpCacheEntry> {
+        self.caches.iter().find(|c| c.name == name)
+    }
 }
 
 /// An FDD store: owns the node table, the hash-cons map, and the operation
@@ -116,6 +248,24 @@ impl Manager {
         self.inner.lock().nodes.len()
     }
 
+    /// Number of distinct leaf distributions interned so far.
+    pub fn dist_count(&self) -> usize {
+        self.inner.lock().dists.len()
+    }
+
+    /// Size metrics of the interned-distribution table:
+    /// `(distributions, total support entries, largest single support)`.
+    pub fn dist_table_stats(&self) -> (usize, usize, usize) {
+        let inner = self.inner.lock();
+        let (mut total, mut max) = (0usize, 0usize);
+        for d in &inner.dists {
+            let s = d.support_size();
+            total += s;
+            max = max.max(s);
+        }
+        (inner.dists.len(), total, max)
+    }
+
     /// Creates (or reuses) a leaf node.
     pub fn leaf(&self, dist: ActionDist) -> Fdd {
         let mut inner = self.inner.lock();
@@ -124,12 +274,12 @@ impl Manager {
 
     /// The always-pass FDD (predicate "true").
     pub fn pass(&self) -> Fdd {
-        self.leaf(ActionDist::skip())
+        self.inner.lock().leaf_pass()
     }
 
     /// The always-drop FDD (predicate "false").
     pub fn fail(&self) -> Fdd {
-        self.leaf(ActionDist::drop())
+        self.inner.lock().leaf_fail()
     }
 
     /// Creates (or reuses) a branch testing `field = value`.
@@ -177,10 +327,10 @@ impl Manager {
     ///
     /// Panics if the weights do not sum to 1.
     pub fn convex(&self, branches: &[(Fdd, Ratio)]) -> Fdd {
-        let total: Ratio = branches.iter().map(|(_, r)| r.clone()).sum();
+        let total: Ratio = branches.iter().map(|(_, r)| r).sum();
         assert!(total == Ratio::one(), "convex weights sum to {total}");
         let mut inner = self.inner.lock();
-        let mut acc = inner.mk_leaf(ActionDist::zero());
+        let mut acc = inner.leaf_zero();
         for (p, r) in branches {
             let scaled = inner.scale(*p, r);
             acc = inner.sum(acc, scaled);
@@ -202,18 +352,25 @@ impl Manager {
 
     /// Evaluates the FDD on a concrete packet.
     pub fn eval(&self, p: Fdd, pk: &Packet) -> ActionDist {
+        // The deep clone happens after the lock is released.
+        self.eval_shared(p, pk).as_ref().clone()
+    }
+
+    /// Evaluates on a concrete packet, returning the interned distribution
+    /// without deep-cloning it (the lock is released before returning).
+    pub(crate) fn eval_shared(&self, p: Fdd, pk: &Packet) -> Arc<ActionDist> {
         let inner = self.inner.lock();
         let mut cur = p;
         loop {
-            match &inner.nodes[cur.0 as usize] {
-                Node::Leaf(d) => return d.clone(),
+            match inner.nodes[cur.0 as usize] {
+                Node::Leaf(did) => return inner.dists[did.0 as usize].clone(),
                 Node::Branch {
                     field,
                     value,
                     hi,
                     lo,
                 } => {
-                    cur = if pk.matches(*field, *value) { *hi } else { *lo };
+                    cur = if pk.matches(field, value) { hi } else { lo };
                 }
             }
         }
@@ -221,18 +378,25 @@ impl Manager {
 
     /// Evaluates the FDD on a symbolic packet (wildcards fail all tests).
     pub fn eval_sym(&self, p: Fdd, pk: &SymPkt) -> ActionDist {
+        // The deep clone happens after the lock is released.
+        self.eval_sym_shared(p, pk).as_ref().clone()
+    }
+
+    /// Evaluates on a symbolic packet, returning the interned distribution
+    /// without deep-cloning it (the lock is released before returning).
+    pub(crate) fn eval_sym_shared(&self, p: Fdd, pk: &SymPkt) -> Arc<ActionDist> {
         let inner = self.inner.lock();
         let mut cur = p;
         loop {
-            match &inner.nodes[cur.0 as usize] {
-                Node::Leaf(d) => return d.clone(),
+            match inner.nodes[cur.0 as usize] {
+                Node::Leaf(did) => return inner.dists[did.0 as usize].clone(),
                 Node::Branch {
                     field,
                     value,
                     hi,
                     lo,
                 } => {
-                    cur = if pk.test(*field, *value) { *hi } else { *lo };
+                    cur = if pk.test(field, value) { hi } else { lo };
                 }
             }
         }
@@ -253,11 +417,11 @@ impl Manager {
                 value,
                 hi,
                 lo,
-            } = &inner.nodes[x.0 as usize]
+            } = inner.nodes[x.0 as usize]
             {
-                dom.add_test(*field, *value);
-                stack.push(*hi);
-                stack.push(*lo);
+                dom.add_test(field, value);
+                stack.push(hi);
+                stack.push(lo);
             }
         }
         dom
@@ -272,9 +436,9 @@ impl Manager {
             if !seen.insert(x) {
                 continue;
             }
-            if let Node::Branch { hi, lo, .. } = &inner.nodes[x.0 as usize] {
-                stack.push(*hi);
-                stack.push(*lo);
+            if let Node::Branch { hi, lo, .. } = inner.nodes[x.0 as usize] {
+                stack.push(hi);
+                stack.push(lo);
             }
         }
         seen.len()
@@ -289,15 +453,16 @@ impl Manager {
             if !seen.insert(x) {
                 continue;
             }
-            match &inner.nodes[x.0 as usize] {
-                Node::Leaf(d) => {
+            match inner.nodes[x.0 as usize] {
+                Node::Leaf(did) => {
+                    let d = &inner.dists[did.0 as usize];
                     if !d.is_skip() && !d.is_drop() {
                         return false;
                     }
                 }
                 Node::Branch { hi, lo, .. } => {
-                    stack.push(*hi);
-                    stack.push(*lo);
+                    stack.push(hi);
+                    stack.push(lo);
                 }
             }
         }
@@ -305,22 +470,18 @@ impl Manager {
     }
 
     pub(crate) fn node(&self, p: Fdd) -> Node {
-        self.inner.lock().nodes[p.0 as usize].clone()
+        self.inner.lock().nodes[p.0 as usize]
+    }
+
+    /// The interned distribution behind a leaf id.
+    pub(crate) fn leaf_dist(&self, id: DistId) -> Arc<ActionDist> {
+        self.inner.lock().dists[id.0 as usize].clone()
     }
 
     /// Looks up a memoised `while`-loop solution, counting the outcome.
     pub(crate) fn while_cache_lookup(&self, guard: Fdd, body: Fdd, key: &OptsKey) -> Option<Fdd> {
         let mut inner = self.inner.lock();
-        match inner.while_cache.get(&(guard, body, key.clone())).copied() {
-            Some(hit) => {
-                inner.while_hits += 1;
-                Some(hit)
-            }
-            None => {
-                inner.while_misses += 1;
-                None
-            }
-        }
+        inner.while_cache.get(&(guard, body, key.clone()))
     }
 
     /// Records a solved `while` loop in the memo cache.
@@ -335,26 +496,109 @@ impl Manager {
     pub fn while_cache_stats(&self) -> WhileCacheStats {
         let inner = self.inner.lock();
         WhileCacheStats {
-            hits: inner.while_hits,
-            misses: inner.while_misses,
-            entries: inner.while_cache.len(),
+            hits: inner.while_cache.hits,
+            misses: inner.while_cache.misses,
+            entries: inner.while_cache.map.len(),
+        }
+    }
+
+    /// Snapshot of every operation cache's hit/miss/entry counters.
+    ///
+    /// `cons` is the hash-cons map (hits = structurally duplicate nodes);
+    /// `seq`/`sum`/`ite`/`restrict_*`/`scale`/`prepend` are the diagram
+    /// combinator memos; `dist_sum`/`dist_scale`/`dist_then` are the
+    /// distribution-level memos on interned leaf ids; `while` is the
+    /// loop-solution cache (also available as [`Manager::while_cache_stats`]).
+    pub fn op_cache_stats(&self) -> OpCacheStats {
+        let inner = self.inner.lock();
+        OpCacheStats {
+            caches: vec![
+                inner.consed.stats("cons"),
+                inner.seq_cache.stats("seq"),
+                inner.sum_cache.stats("sum"),
+                inner.ite_cache.stats("ite"),
+                inner.restrict_eq_cache.stats("restrict_eq"),
+                inner.restrict_ne_cache.stats("restrict_ne"),
+                inner.scale_cache.stats("scale"),
+                inner.prepend_cache.stats("prepend"),
+                inner.dist_sum_cache.stats("dist_sum"),
+                inner.dist_scale_cache.stats("dist_scale"),
+                inner.dist_then_cache.stats("dist_then"),
+                inner.while_cache.stats("while"),
+            ],
         }
     }
 }
 
 impl Inner {
     fn cons(&mut self, node: Node) -> Fdd {
-        if let Some(&id) = self.consed.get(&node) {
+        if let Some(id) = self.consed.get(&node) {
             return id;
         }
         let id = Fdd(self.nodes.len() as u32);
-        self.nodes.push(node.clone());
+        self.nodes.push(node);
         self.consed.insert(node, id);
         id
     }
 
+    fn intern_dist(&mut self, dist: ActionDist) -> DistId {
+        if let Some(&id) = self.dist_ids.get(&dist) {
+            return id;
+        }
+        let id = DistId(self.dists.len() as u32);
+        let arc = Arc::new(dist);
+        self.dists.push(arc.clone());
+        self.dist_ids.insert(arc, id);
+        id
+    }
+
+    fn intern_action(&mut self, action: &Action) -> ActId {
+        if let Some(&id) = self.action_ids.get(action) {
+            return id;
+        }
+        let id = ActId(self.actions.len() as u32);
+        let arc = Arc::new(action.clone());
+        self.actions.push(arc.clone());
+        self.action_ids.insert(arc, id);
+        id
+    }
+
     fn mk_leaf(&mut self, dist: ActionDist) -> Fdd {
-        self.cons(Node::Leaf(dist))
+        let did = self.intern_dist(dist);
+        self.cons(Node::Leaf(did))
+    }
+
+    fn leaf_pass(&mut self) -> Fdd {
+        match self.pass_leaf {
+            Some(f) => f,
+            None => {
+                let f = self.mk_leaf(ActionDist::skip());
+                self.pass_leaf = Some(f);
+                f
+            }
+        }
+    }
+
+    fn leaf_fail(&mut self) -> Fdd {
+        match self.fail_leaf {
+            Some(f) => f,
+            None => {
+                let f = self.mk_leaf(ActionDist::drop());
+                self.fail_leaf = Some(f);
+                f
+            }
+        }
+    }
+
+    fn leaf_zero(&mut self) -> Fdd {
+        match self.zero_leaf {
+            Some(f) => f,
+            None => {
+                let f = self.mk_leaf(ActionDist::zero());
+                self.zero_leaf = Some(f);
+                f
+            }
+        }
     }
 
     fn mk_branch(&mut self, field: Field, value: Value, hi: Fdd, lo: Fdd) -> Fdd {
@@ -383,9 +627,47 @@ impl Inner {
         })
     }
 
+    /// Pointwise sum of two interned distributions, memoised on ids.
+    fn dist_sum(&mut self, a: DistId, b: DistId) -> DistId {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(hit) = self.dist_sum_cache.get(&key) {
+            return hit;
+        }
+        let da = self.dists[key.0 .0 as usize].clone();
+        let db = self.dists[key.1 .0 as usize].clone();
+        let out = self.intern_dist(da.sum(&db));
+        self.dist_sum_cache.insert(key, out);
+        out
+    }
+
+    /// Scales an interned distribution, memoised on (id, ratio).
+    fn dist_scale(&mut self, did: DistId, r: &Ratio) -> DistId {
+        let key = (did, r.clone());
+        if let Some(hit) = self.dist_scale_cache.get(&key) {
+            return hit;
+        }
+        let d = self.dists[did.0 as usize].clone();
+        let out = self.intern_dist(d.scale(r));
+        self.dist_scale_cache.insert(key, out);
+        out
+    }
+
+    /// Prepends an interned action to every action of an interned
+    /// distribution, memoised on ids.
+    fn dist_then(&mut self, aid: ActId, did: DistId) -> DistId {
+        let key = (aid, did);
+        if let Some(hit) = self.dist_then_cache.get(&key) {
+            return hit;
+        }
+        let mods = self.actions[aid.0 as usize].clone();
+        let d = self.dists[did.0 as usize].clone();
+        let out = self.intern_dist(d.map_actions(|a| mods.then(a)));
+        self.dist_then_cache.insert(key, out);
+        out
+    }
+
     fn restrict_eq(&mut self, p: Fdd, f: Field, v: Value) -> Fdd {
-        let node = self.nodes[p.0 as usize].clone();
-        let (field, value, hi, lo) = match node {
+        let (field, value, hi, lo) = match self.nodes[p.0 as usize] {
             Node::Leaf(_) => return p,
             Node::Branch {
                 field,
@@ -398,7 +680,7 @@ impl Inner {
             return p;
         }
         let key = (p, f, v);
-        if let Some(&hit) = self.restrict_eq_cache.get(&key) {
+        if let Some(hit) = self.restrict_eq_cache.get(&key) {
             return hit;
         }
         let result = if field < f {
@@ -415,8 +697,7 @@ impl Inner {
     }
 
     fn restrict_ne(&mut self, p: Fdd, f: Field, v: Value) -> Fdd {
-        let node = self.nodes[p.0 as usize].clone();
-        let (field, value, hi, lo) = match node {
+        let (field, value, hi, lo) = match self.nodes[p.0 as usize] {
             Node::Leaf(_) => return p,
             Node::Branch {
                 field,
@@ -429,7 +710,7 @@ impl Inner {
             return p;
         }
         let key = (p, f, v);
-        if let Some(&hit) = self.restrict_ne_cache.get(&key) {
+        if let Some(hit) = self.restrict_ne_cache.get(&key) {
             return hit;
         }
         let result = if field < f {
@@ -452,12 +733,14 @@ impl Inner {
             return p;
         }
         let key = (p, r.clone());
-        if let Some(&hit) = self.scale_cache.get(&key) {
+        if let Some(hit) = self.scale_cache.get(&key) {
             return hit;
         }
-        let node = self.nodes[p.0 as usize].clone();
-        let result = match node {
-            Node::Leaf(d) => self.mk_leaf(d.scale(r)),
+        let result = match self.nodes[p.0 as usize] {
+            Node::Leaf(did) => {
+                let ndid = self.dist_scale(did, r);
+                self.cons(Node::Leaf(ndid))
+            }
             Node::Branch {
                 field,
                 value,
@@ -475,20 +758,18 @@ impl Inner {
 
     fn sum(&mut self, p: Fdd, q: Fdd) -> Fdd {
         let key = if p <= q { (p, q) } else { (q, p) };
-        if let Some(&hit) = self.sum_cache.get(&key) {
+        if let Some(hit) = self.sum_cache.get(&key) {
             return hit;
         }
-        let np = self.nodes[p.0 as usize].clone();
-        let nq = self.nodes[q.0 as usize].clone();
-        let result = match (var_of(&np), var_of(&nq)) {
-            (None, None) => {
-                let (Node::Leaf(dp), Node::Leaf(dq)) = (&np, &nq) else {
-                    unreachable!()
-                };
-                self.mk_leaf(dp.sum(dq))
+        let np = self.nodes[p.0 as usize];
+        let nq = self.nodes[q.0 as usize];
+        let result = match (np, nq) {
+            (Node::Leaf(dp), Node::Leaf(dq)) => {
+                let did = self.dist_sum(dp, dq);
+                self.cons(Node::Leaf(did))
             }
-            (vp, vq) => {
-                let (f, v) = match (vp, vq) {
+            _ => {
+                let (f, v) = match (var_of(&np), var_of(&nq)) {
                     (Some(a), Some(b)) => a.min(b),
                     (Some(a), None) => a,
                     (None, Some(b)) => b,
@@ -509,14 +790,21 @@ impl Inner {
 
     fn ite(&mut self, t: Fdd, p: Fdd, q: Fdd) -> Fdd {
         let key = (t, p, q);
-        if let Some(&hit) = self.ite_cache.get(&key) {
+        if let Some(hit) = self.ite_cache.get(&key) {
             return hit;
         }
-        let nt = self.nodes[t.0 as usize].clone();
-        let result = match &nt {
-            Node::Leaf(d) if d.is_skip() => p,
-            Node::Leaf(d) if d.is_drop() => q,
-            Node::Leaf(d) => panic!("ite guard leaf is not deterministic: {d}"),
+        let nt = self.nodes[t.0 as usize];
+        let result = match nt {
+            Node::Leaf(did) => {
+                let d = &self.dists[did.0 as usize];
+                if d.is_skip() {
+                    p
+                } else if d.is_drop() {
+                    q
+                } else {
+                    panic!("ite guard leaf is not deterministic: {d}")
+                }
+            }
             Node::Branch { .. } => {
                 let vt = var_of(&nt);
                 let vp = var_of(&self.nodes[p.0 as usize]);
@@ -541,33 +829,30 @@ impl Inner {
     /// then prepends the modifications to every resulting action.
     fn action_then(&mut self, mods: &Action, q: Fdd) -> Fdd {
         match mods {
-            Action::Drop => {
-                let d = ActionDist::drop();
-                self.mk_leaf(d)
-            }
+            Action::Drop => self.leaf_fail(),
             Action::Mods(pairs) => {
                 let mut restricted = q;
                 for &(f, v) in pairs {
                     restricted = self.restrict_eq(restricted, f, v);
                 }
-                self.prepend(mods.clone(), restricted)
+                if pairs.is_empty() {
+                    return restricted;
+                }
+                let aid = self.intern_action(mods);
+                self.prepend(aid, restricted)
             }
         }
     }
 
-    fn prepend(&mut self, mods: Action, q: Fdd) -> Fdd {
-        if mods.is_skip() {
-            return q;
-        }
-        let key = (q, mods.clone());
-        if let Some(&hit) = self.prepend_cache.get(&key) {
+    fn prepend(&mut self, aid: ActId, q: Fdd) -> Fdd {
+        let key = (q, aid);
+        if let Some(hit) = self.prepend_cache.get(&key) {
             return hit;
         }
-        let node = self.nodes[q.0 as usize].clone();
-        let result = match node {
-            Node::Leaf(d) => {
-                let mapped = d.map_actions(|a| mods.then(a));
-                self.mk_leaf(mapped)
+        let result = match self.nodes[q.0 as usize] {
+            Node::Leaf(did) => {
+                let ndid = self.dist_then(aid, did);
+                self.cons(Node::Leaf(ndid))
             }
             Node::Branch {
                 field,
@@ -575,8 +860,8 @@ impl Inner {
                 hi,
                 lo,
             } => {
-                let nh = self.prepend(mods.clone(), hi);
-                let nl = self.prepend(mods.clone(), lo);
+                let nh = self.prepend(aid, hi);
+                let nl = self.prepend(aid, lo);
                 self.mk_branch(field, value, nh, nl)
             }
         };
@@ -586,13 +871,13 @@ impl Inner {
 
     fn seq(&mut self, p: Fdd, q: Fdd) -> Fdd {
         let key = (p, q);
-        if let Some(&hit) = self.seq_cache.get(&key) {
+        if let Some(hit) = self.seq_cache.get(&key) {
             return hit;
         }
-        let np = self.nodes[p.0 as usize].clone();
-        let result = match np {
-            Node::Leaf(d) => {
-                let mut acc = self.mk_leaf(ActionDist::zero());
+        let result = match self.nodes[p.0 as usize] {
+            Node::Leaf(did) => {
+                let d = self.dists[did.0 as usize].clone();
+                let mut acc = self.leaf_zero();
                 for (action, r) in d.iter() {
                     let cont = self.action_then(action, q);
                     let scaled = self.scale(cont, r);
@@ -613,8 +898,8 @@ impl Inner {
                 // the path.
                 let nh = self.seq(hi, q);
                 let nl = self.seq(lo, q);
-                let pass = self.mk_leaf(ActionDist::skip());
-                let fail = self.mk_leaf(ActionDist::drop());
+                let pass = self.leaf_pass();
+                let fail = self.leaf_fail();
                 let test = self.mk_branch(field, value, pass, fail);
                 self.ite(test, nh, nl)
             }
@@ -799,5 +1084,40 @@ mod tests {
         assert!(mgr.is_predicate(mgr.pass()));
         assert!(mgr.is_predicate(mgr.branch(f, 1, mgr.pass(), mgr.fail())));
         assert!(!mgr.is_predicate(prob));
+    }
+
+    #[test]
+    fn leaves_are_interned_once() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let d = ActionDist::dirac(Action::assign(f, 1));
+        let a = mgr.leaf(d.clone());
+        let b = mgr.leaf(d);
+        assert_eq!(a, b);
+        // pass + the assign leaf = 2 distributions; re-interning added none.
+        let _ = mgr.pass();
+        assert_eq!(mgr.dist_count(), 2);
+    }
+
+    #[test]
+    fn op_cache_stats_counts_lookups() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let p = mgr.branch(f, 1, mgr.pass(), mgr.fail());
+        let q = mgr.branch(f, 2, mgr.pass(), mgr.fail());
+        let _ = mgr.seq(p, q);
+        let first = mgr.op_cache_stats();
+        let seq1 = *first.get("seq").unwrap();
+        assert!(seq1.misses >= 1);
+        // Repeating the identical operation is answered from the cache.
+        let _ = mgr.seq(p, q);
+        let second = mgr.op_cache_stats();
+        let seq2 = *second.get("seq").unwrap();
+        assert_eq!(seq2.misses, seq1.misses);
+        assert_eq!(seq2.hits, seq1.hits + 1);
+        assert!(seq2.hit_rate() > 0.0);
+        // The cons entry tracks the hash-cons table.
+        let cons = *second.get("cons").unwrap();
+        assert_eq!(cons.entries, mgr.node_count());
     }
 }

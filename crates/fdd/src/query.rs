@@ -23,7 +23,7 @@ impl Manager {
     /// The output distribution of `p` on the concrete input packet `pk`.
     pub fn output_dist(&self, p: Fdd, pk: &Packet) -> OutputDist {
         let mut out = OutputDist::new();
-        for (action, r) in self.eval(p, pk).iter() {
+        for (action, r) in self.eval_shared(p, pk).iter() {
             let slot = out.entry(action.apply(pk)).or_insert_with(Ratio::zero);
             *slot += r;
         }
@@ -33,7 +33,7 @@ impl Manager {
     /// The symbolic output distribution of `p` on an input class.
     pub fn sym_output_dist(&self, p: Fdd, class: &SymPkt) -> SymOutputDist {
         let mut out = SymOutputDist::new();
-        for (action, r) in self.eval_sym(p, class).iter() {
+        for (action, r) in self.eval_sym_shared(p, class).iter() {
             let slot = out.entry(class.apply(action)).or_insert_with(Ratio::zero);
             *slot += r;
         }

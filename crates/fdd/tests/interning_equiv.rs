@@ -1,0 +1,168 @@
+//! Equivalence tests pinning the interned-leaf FDD combinators against the
+//! pre-interning semantics.
+//!
+//! Leaf distributions are interned behind copyable ids inside the
+//! `Manager`, with distribution-level operations memoised on those ids.
+//! None of that may change what `seq`/`sum`/`ite` *mean*: on every
+//! concrete packet, the combinator results must match a reference
+//! computed directly from the operand distributions (the semantics the
+//! un-interned implementation computed leaf-by-leaf).
+
+use mcnetkat_core::{Field, Packet, Pred, Prog};
+use mcnetkat_fdd::{Manager, OutputDist};
+use mcnetkat_num::Ratio;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn field(ix: usize) -> Field {
+    match ix {
+        0 => Field::named("ieq_f"),
+        _ => Field::named("ieq_g"),
+    }
+}
+
+/// Random loop-free guarded predicates over the two test fields.
+fn arb_pred() -> BoxedStrategy<Pred> {
+    let leaf = prop_oneof![
+        Just(Pred::True),
+        Just(Pred::False),
+        (0..2usize, 1..=3u32).prop_map(|(fi, v)| Pred::test(field(fi), v)),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+/// Random loop-free guarded programs over the two test fields.
+fn arb_prog() -> BoxedStrategy<Prog> {
+    let leaf = prop_oneof![
+        Just(Prog::skip()),
+        Just(Prog::drop()),
+        (0..2usize, 1..=3u32).prop_map(|(fi, v)| Prog::assign(field(fi), v)),
+        (0..2usize, 1..=3u32).prop_map(|(fi, v)| Prog::test(field(fi), v)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.seq(b)),
+            (inner.clone(), 1..=3i64, inner.clone()).prop_map(|(a, n, b)| Prog::choice2(
+                a,
+                Ratio::new(n, 4),
+                b
+            )),
+            (arb_pred(), inner.clone(), inner.clone()).prop_map(|(t, a, b)| Prog::ite(t, a, b)),
+        ]
+    })
+}
+
+/// Every concrete packet over the tested field/value grid (including
+/// values no test mentions, and absent fields).
+fn all_packets() -> Vec<Packet> {
+    let mut out = Vec::new();
+    for fv in 0..=4u32 {
+        for gv in 0..=4u32 {
+            let mut pk = Packet::new();
+            if fv > 0 {
+                pk = pk.with(field(0), fv);
+            }
+            if gv > 0 {
+                pk = pk.with(field(1), gv);
+            }
+            out.push(pk);
+        }
+    }
+    out
+}
+
+/// Reference big-step composition `p ; q` on one packet: run `p`, apply
+/// each action, run `q` on the intermediate packet, and combine — the
+/// stochastic-matrix product the FDD `seq` must implement.
+fn ref_seq_output(
+    mgr: &Manager,
+    p: mcnetkat_fdd::Fdd,
+    q: mcnetkat_fdd::Fdd,
+    pk: &Packet,
+) -> OutputDist {
+    let mut out: OutputDist = BTreeMap::new();
+    for (a, ra) in mgr.eval(p, pk).iter() {
+        match a.apply(pk) {
+            None => {
+                let slot = out.entry(None).or_insert_with(Ratio::zero);
+                *slot += ra;
+            }
+            Some(mid) => {
+                for (b, rb) in mgr.eval(q, &mid).iter() {
+                    let slot = out.entry(b.apply(&mid)).or_insert_with(Ratio::zero);
+                    *slot += &(ra * rb);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Drops zero-probability entries so reference and FDD results compare
+/// structurally.
+fn nonzero(d: OutputDist) -> OutputDist {
+    d.into_iter().filter(|(_, r)| !r.is_zero()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn seq_matches_reference_composition(a in arb_prog(), b in arb_prog()) {
+        let mgr = Manager::new();
+        let fa = mgr.compile(&a).unwrap();
+        let fb = mgr.compile(&b).unwrap();
+        let fab = mgr.seq(fa, fb);
+        for pk in all_packets() {
+            prop_assert_eq!(
+                nonzero(mgr.output_dist(fab, &pk)),
+                nonzero(ref_seq_output(&mgr, fa, fb, &pk)),
+                "packet {:?}", pk
+            );
+        }
+    }
+
+    #[test]
+    fn sum_matches_pointwise_distribution_sum(a in arb_prog(), b in arb_prog()) {
+        let mgr = Manager::new();
+        let fa = mgr.compile(&a).unwrap();
+        let fb = mgr.compile(&b).unwrap();
+        let fsum = mgr.sum(fa, fb);
+        for pk in all_packets() {
+            let expect = mgr.eval(fa, &pk).sum(&mgr.eval(fb, &pk));
+            prop_assert_eq!(mgr.eval(fsum, &pk), expect, "packet {:?}", pk);
+        }
+    }
+
+    #[test]
+    fn ite_matches_guard_selection(t in arb_pred(), a in arb_prog(), b in arb_prog()) {
+        let mgr = Manager::new();
+        let ft = mgr.compile_pred(&t);
+        let fa = mgr.compile(&a).unwrap();
+        let fb = mgr.compile(&b).unwrap();
+        let fite = mgr.ite(ft, fa, fb);
+        for pk in all_packets() {
+            let expect = if t.eval(&pk) { mgr.eval(fa, &pk) } else { mgr.eval(fb, &pk) };
+            prop_assert_eq!(mgr.eval(fite, &pk), expect, "packet {:?}", pk);
+        }
+    }
+
+    #[test]
+    fn interning_preserves_program_equivalence(a in arb_prog()) {
+        // Compiling the same program in two fresh managers (independent
+        // intern tables) yields semantically identical diagrams.
+        let m1 = Manager::new();
+        let m2 = Manager::new();
+        let f1 = m1.compile(&a).unwrap();
+        let f2 = m2.compile(&a).unwrap();
+        for pk in all_packets() {
+            prop_assert_eq!(m1.output_dist(f1, &pk), m2.output_dist(f2, &pk));
+        }
+    }
+}

@@ -287,6 +287,32 @@ impl BigInt {
         Some((hi << BASE_BITS) | lo)
     }
 
+    /// Conversion to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.negative || self.limbs.len() > 4 {
+            return None;
+        }
+        let mut out = 0u128;
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            out |= (limb as u128) << (BASE_BITS as usize * i);
+        }
+        Some(out)
+    }
+
+    /// Conversion to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let mag = self.abs().to_u128()?;
+        if self.negative {
+            if mag <= 1u128 << 127 {
+                Some((mag as i128).wrapping_neg())
+            } else {
+                None
+            }
+        } else {
+            i128::try_from(mag).ok()
+        }
+    }
+
     /// Conversion to `i64` if the value fits.
     pub fn to_i64(&self) -> Option<i64> {
         let mag = self.abs().to_u64()?;
@@ -397,6 +423,32 @@ impl From<i64> for BigInt {
 impl From<u32> for BigInt {
     fn from(v: u32) -> Self {
         BigInt::from(v as u64)
+    }
+}
+
+impl From<u128> for BigInt {
+    fn from(v: u128) -> Self {
+        let mut limbs = vec![
+            v as u32,
+            (v >> 32) as u32,
+            (v >> 64) as u32,
+            (v >> 96) as u32,
+        ];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigInt {
+            negative: false,
+            limbs,
+        }
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        let mut b = BigInt::from(v.unsigned_abs());
+        b.negative = v < 0;
+        b
     }
 }
 

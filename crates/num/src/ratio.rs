@@ -1,4 +1,12 @@
 //! Exact rationals, always stored in lowest terms with positive denominator.
+//!
+//! The representation is a two-variant enum mirroring Zarith's small-integer
+//! fast path: values whose numerator and denominator fit machine words live
+//! inline as a pair of `i64`s and all arithmetic on them runs in `i128`
+//! intermediates without touching the heap; everything else falls back to a
+//! boxed [`BigInt`] pair. Results are *demoted* back to the inline form
+//! whenever they fit, so representation is canonical: a value is `Small`
+//! iff it is representable as `Small`. Equality and hashing rely on this.
 
 use crate::BigInt;
 use std::cmp::Ordering;
@@ -6,9 +14,28 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 use std::str::FromStr;
 
+/// Largest numerator/denominator magnitude representable inline.
+///
+/// The numerator range is symmetric (`i64::MIN` is excluded) so negation
+/// and `abs` of a `Small` value never overflow.
+const SMALL_MAX: i128 = i64::MAX as i128;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// `num / den` with `den > 0`, `gcd(|num|, den) == 1`, and both within
+    /// `±SMALL_MAX`. Zero is `Small(0, 1)`.
+    Small(i64, i64),
+    /// Lowest terms, positive denominator, and **not** representable as
+    /// `Small` (otherwise demotion would have fired). The box keeps
+    /// `Ratio` itself two words wide.
+    Big(Box<(BigInt, BigInt)>),
+}
+
 /// An exact rational number.
 ///
 /// Invariants: `den > 0` and `gcd(|num|, den) == 1`; zero is `0/1`.
+/// Values representable with `i64` numerator and denominator are stored
+/// inline and their arithmetic never allocates.
 ///
 /// # Examples
 ///
@@ -20,8 +47,7 @@ use std::str::FromStr;
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Ratio {
-    num: BigInt,
-    den: BigInt,
+    repr: Repr,
 }
 
 /// Error returned when parsing a [`Ratio`] from a string fails.
@@ -36,88 +62,183 @@ impl fmt::Display for ParseRatioError {
 
 impl std::error::Error for ParseRatioError {}
 
+/// Euclidean gcd over `u128`, dropping to `u64` arithmetic when both
+/// operands fit (the overwhelmingly common case — `u128` division is a
+/// software routine on most targets).
+fn gcd_u128(a: u128, b: u128) -> u128 {
+    if a <= u64::MAX as u128 && b <= u64::MAX as u128 {
+        let (mut a, mut b) = (a as u64, b as u64);
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a as u128
+    } else {
+        let (mut a, mut b) = (a, b);
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+}
+
 impl Ratio {
+    /// Builds `n / d` from `i128` intermediates, normalising and demoting.
+    ///
+    /// `|n|` and `|d|` must be below `2^127` (guaranteed for single
+    /// products/sums of `Small` parts); `d` must be non-zero.
+    fn from_i128(mut n: i128, mut d: i128) -> Ratio {
+        assert!(d != 0, "rational with zero denominator");
+        if d < 0 {
+            n = -n;
+            d = -d;
+        }
+        if n == 0 {
+            return Ratio::zero();
+        }
+        let g = gcd_u128(n.unsigned_abs(), d as u128) as i128;
+        let (n, d) = (n / g, d / g);
+        if (-SMALL_MAX..=SMALL_MAX).contains(&n) && d <= SMALL_MAX {
+            Ratio {
+                repr: Repr::Small(n as i64, d as i64),
+            }
+        } else {
+            Ratio {
+                repr: Repr::Big(Box::new((BigInt::from(n), BigInt::from(d)))),
+            }
+        }
+    }
+
+    /// Wraps an already-normalised big pair, demoting to `Small` if it
+    /// fits (which keeps the representation canonical).
+    fn from_normalised_bigints(num: BigInt, den: BigInt) -> Ratio {
+        if let (Some(n), Some(d)) = (num.to_i128(), den.to_i128()) {
+            if (-SMALL_MAX..=SMALL_MAX).contains(&n) && d <= SMALL_MAX {
+                return Ratio {
+                    repr: Repr::Small(n as i64, d as i64),
+                };
+            }
+        }
+        Ratio {
+            repr: Repr::Big(Box::new((num, den))),
+        }
+    }
+
+    /// The numerator as a [`BigInt`] regardless of representation.
+    fn num_big(&self) -> BigInt {
+        match &self.repr {
+            Repr::Small(n, _) => BigInt::from(*n),
+            Repr::Big(b) => b.0.clone(),
+        }
+    }
+
+    /// The denominator as a [`BigInt`] regardless of representation.
+    fn den_big(&self) -> BigInt {
+        match &self.repr {
+            Repr::Small(_, d) => BigInt::from(*d),
+            Repr::Big(b) => b.1.clone(),
+        }
+    }
+
+    /// Both parts as [`BigInt`]s, borrowing them when the value is
+    /// already `Big` — the mixed/overflow operator arms use this so they
+    /// never clone the heap pair just to read it.
+    fn big_parts(&self) -> (std::borrow::Cow<'_, BigInt>, std::borrow::Cow<'_, BigInt>) {
+        use std::borrow::Cow;
+        match &self.repr {
+            Repr::Small(n, d) => (Cow::Owned(BigInt::from(*n)), Cow::Owned(BigInt::from(*d))),
+            Repr::Big(b) => (Cow::Borrowed(&b.0), Cow::Borrowed(&b.1)),
+        }
+    }
+
     /// Creates `num/den` from machine integers.
     ///
     /// # Panics
     ///
     /// Panics if `den == 0`.
     pub fn new(num: i64, den: i64) -> Self {
-        Self::from_bigints(BigInt::from(num), BigInt::from(den))
+        Ratio::from_i128(num as i128, den as i128)
     }
 
-    /// Creates `num/den` from big integers, normalising the result.
+    /// Creates `num/den` from big integers, normalising the result (and
+    /// demoting it to the inline representation when it fits).
     ///
     /// # Panics
     ///
     /// Panics if `den` is zero.
     pub fn from_bigints(num: BigInt, den: BigInt) -> Self {
         assert!(!den.is_zero(), "rational with zero denominator");
+        // Fast path: both parts already fit machine words. `i128::MIN` is
+        // excluded — `from_i128`'s sign normalisation negates, which
+        // would overflow on it.
+        if let (Some(n), Some(d)) = (num.to_i128(), den.to_i128()) {
+            if n != i128::MIN && d != i128::MIN {
+                return Ratio::from_i128(n, d);
+            }
+        }
         let (num, den) = if den.is_negative() {
             (-num, -den)
         } else {
             (num, den)
         };
+        if num.is_zero() {
+            return Ratio::zero();
+        }
         let g = num.gcd(&den);
-        if g.is_one() || num.is_zero() {
-            if num.is_zero() {
-                return Ratio {
-                    num: BigInt::zero(),
-                    den: BigInt::one(),
-                };
-            }
-            return Ratio { num, den };
+        if g.is_one() {
+            return Ratio::from_normalised_bigints(num, den);
         }
-        Ratio {
-            num: num.divmod(&g).0,
-            den: den.divmod(&g).0,
-        }
+        Ratio::from_normalised_bigints(num.divmod(&g).0, den.divmod(&g).0)
     }
 
     /// The rational zero.
     pub fn zero() -> Self {
         Ratio {
-            num: BigInt::zero(),
-            den: BigInt::one(),
+            repr: Repr::Small(0, 1),
         }
     }
 
     /// The rational one.
     pub fn one() -> Self {
         Ratio {
-            num: BigInt::one(),
-            den: BigInt::one(),
+            repr: Repr::Small(1, 1),
         }
     }
 
     /// Creates the integer `n` as a rational.
     pub fn from_integer(n: i64) -> Self {
-        Ratio::new(n, 1)
+        Ratio::from_i128(n as i128, 1)
     }
 
-    /// The numerator (sign-carrying).
-    pub fn numer(&self) -> &BigInt {
-        &self.num
+    /// The numerator (sign-carrying), widened to a [`BigInt`].
+    pub fn numer(&self) -> BigInt {
+        self.num_big()
     }
 
-    /// The denominator (always positive).
-    pub fn denom(&self) -> &BigInt {
-        &self.den
+    /// The denominator (always positive), widened to a [`BigInt`].
+    pub fn denom(&self) -> BigInt {
+        self.den_big()
     }
 
     /// Returns `true` if the value is zero.
     pub fn is_zero(&self) -> bool {
-        self.num.is_zero()
+        matches!(self.repr, Repr::Small(0, _))
     }
 
     /// Returns `true` if the value is one.
     pub fn is_one(&self) -> bool {
-        self.num.is_one() && self.den.is_one()
+        matches!(self.repr, Repr::Small(1, 1))
     }
 
     /// Returns `true` if the value is strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.num.is_negative()
+        match &self.repr {
+            Repr::Small(n, _) => *n < 0,
+            Repr::Big(b) => b.0.is_negative(),
+        }
     }
 
     /// Returns `true` if this is a valid probability, i.e. in `[0, 1]`.
@@ -132,7 +253,17 @@ impl Ratio {
     /// Panics if the value is zero.
     pub fn recip(&self) -> Ratio {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Ratio::from_bigints(self.den.clone(), self.num.clone())
+        match &self.repr {
+            // Parts stay within ±SMALL_MAX, gcd is unchanged: flip inline.
+            &Repr::Small(n, d) => Ratio {
+                repr: if n < 0 {
+                    Repr::Small(-d, -n)
+                } else {
+                    Repr::Small(d, n)
+                },
+            },
+            Repr::Big(b) => Ratio::from_bigints(b.1.clone(), b.0.clone()),
+        }
     }
 
     /// Lossy conversion to `f64`.
@@ -140,18 +271,22 @@ impl Ratio {
     /// Scales numerator and denominator down together so the division stays
     /// in `f64` range even for huge exact values.
     pub fn to_f64(&self) -> f64 {
-        let nbits = self.num.bits();
-        let dbits = self.den.bits();
+        let (num, den) = match &self.repr {
+            &Repr::Small(n, d) => return n as f64 / d as f64,
+            Repr::Big(b) => (&b.0, &b.1),
+        };
+        let nbits = num.bits();
+        let dbits = den.bits();
         if nbits < 1000 && dbits < 1000 {
-            return self.num.to_f64() / self.den.to_f64();
+            return num.to_f64() / den.to_f64();
         }
         // Shift both down so the larger fits in ~900 bits.
         let excess = nbits.max(dbits).saturating_sub(900) as u32;
         let scale = BigInt::from(2u64).pow(excess);
-        let n = self.num.divmod(&scale).0;
-        let d = self.den.divmod(&scale).0;
+        let n = num.divmod(&scale).0;
+        let d = den.divmod(&scale).0;
         if d.is_zero() {
-            return if self.num.is_negative() {
+            return if num.is_negative() {
                 f64::NEG_INFINITY
             } else {
                 f64::INFINITY
@@ -190,14 +325,27 @@ impl Ratio {
 
     /// Raises to a small integer power.
     pub fn pow(&self, exp: u32) -> Ratio {
-        Ratio::from_bigints(self.num.pow(exp), self.den.pow(exp))
+        if let Repr::Small(n, d) = self.repr {
+            if let (Some(np), Some(dp)) =
+                ((n as i128).checked_pow(exp), (d as i128).checked_pow(exp))
+            {
+                return Ratio::from_i128(np, dp);
+            }
+        }
+        Ratio::from_bigints(self.num_big().pow(exp), self.den_big().pow(exp))
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Ratio {
-        Ratio {
-            num: self.num.abs(),
-            den: self.den.clone(),
+        match &self.repr {
+            // |n| ≤ SMALL_MAX by invariant, so negation cannot overflow.
+            &Repr::Small(n, d) => Ratio {
+                repr: Repr::Small(n.abs(), d),
+            },
+            // Magnitudes are unchanged, so the value stays non-`Small`.
+            Repr::Big(b) => Ratio {
+                repr: Repr::Big(Box::new((b.0.abs(), b.1.clone()))),
+            },
         }
     }
 }
@@ -211,27 +359,50 @@ impl Default for Ratio {
 impl Add for &Ratio {
     type Output = Ratio;
     fn add(self, rhs: &Ratio) -> Ratio {
-        Ratio::from_bigints(
-            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
-            &self.den * &rhs.den,
-        )
+        match (&self.repr, &rhs.repr) {
+            (&Repr::Small(n1, d1), &Repr::Small(n2, d2)) => {
+                let (n1, d1, n2, d2) = (n1 as i128, d1 as i128, n2 as i128, d2 as i128);
+                Ratio::from_i128(n1 * d2 + n2 * d1, d1 * d2)
+            }
+            _ => {
+                let (an, ad) = self.big_parts();
+                let (bn, bd) = rhs.big_parts();
+                Ratio::from_bigints(&(&*an * &*bd) + &(&*bn * &*ad), &*ad * &*bd)
+            }
+        }
     }
 }
 
 impl Sub for &Ratio {
     type Output = Ratio;
     fn sub(self, rhs: &Ratio) -> Ratio {
-        Ratio::from_bigints(
-            &(&self.num * &rhs.den) - &(&rhs.num * &self.den),
-            &self.den * &rhs.den,
-        )
+        match (&self.repr, &rhs.repr) {
+            (&Repr::Small(n1, d1), &Repr::Small(n2, d2)) => {
+                let (n1, d1, n2, d2) = (n1 as i128, d1 as i128, n2 as i128, d2 as i128);
+                Ratio::from_i128(n1 * d2 - n2 * d1, d1 * d2)
+            }
+            _ => {
+                let (an, ad) = self.big_parts();
+                let (bn, bd) = rhs.big_parts();
+                Ratio::from_bigints(&(&*an * &*bd) - &(&*bn * &*ad), &*ad * &*bd)
+            }
+        }
     }
 }
 
 impl Mul for &Ratio {
     type Output = Ratio;
     fn mul(self, rhs: &Ratio) -> Ratio {
-        Ratio::from_bigints(&self.num * &rhs.num, &self.den * &rhs.den)
+        match (&self.repr, &rhs.repr) {
+            (&Repr::Small(n1, d1), &Repr::Small(n2, d2)) => {
+                Ratio::from_i128(n1 as i128 * n2 as i128, d1 as i128 * d2 as i128)
+            }
+            _ => {
+                let (an, ad) = self.big_parts();
+                let (bn, bd) = rhs.big_parts();
+                Ratio::from_bigints(&*an * &*bn, &*ad * &*bd)
+            }
+        }
     }
 }
 
@@ -239,7 +410,16 @@ impl Div for &Ratio {
     type Output = Ratio;
     fn div(self, rhs: &Ratio) -> Ratio {
         assert!(!rhs.is_zero(), "division by zero rational");
-        Ratio::from_bigints(&self.num * &rhs.den, &self.den * &rhs.num)
+        match (&self.repr, &rhs.repr) {
+            (&Repr::Small(n1, d1), &Repr::Small(n2, d2)) => {
+                Ratio::from_i128(n1 as i128 * d2 as i128, d1 as i128 * n2 as i128)
+            }
+            _ => {
+                let (an, ad) = self.big_parts();
+                let (bn, bd) = rhs.big_parts();
+                Ratio::from_bigints(&*an * &*bd, &*ad * &*bn)
+            }
+        }
     }
 }
 
@@ -285,9 +465,18 @@ impl MulAssign<&Ratio> for Ratio {
 impl Neg for Ratio {
     type Output = Ratio;
     fn neg(self) -> Ratio {
-        Ratio {
-            num: -self.num,
-            den: self.den,
+        match self.repr {
+            // |n| ≤ SMALL_MAX by invariant, so negation cannot overflow.
+            Repr::Small(n, d) => Ratio {
+                repr: Repr::Small(-n, d),
+            },
+            // Magnitudes are unchanged, so the value stays non-`Small`.
+            Repr::Big(b) => {
+                let (num, den) = *b;
+                Ratio {
+                    repr: Repr::Big(Box::new((-num, den))),
+                }
+            }
         }
     }
 }
@@ -301,16 +490,26 @@ impl PartialOrd for Ratio {
 impl Ord for Ratio {
     fn cmp(&self, other: &Self) -> Ordering {
         // Cross-multiply: denominators are positive so order is preserved.
-        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+        match (&self.repr, &other.repr) {
+            (&Repr::Small(n1, d1), &Repr::Small(n2, d2)) => {
+                (n1 as i128 * d2 as i128).cmp(&(n2 as i128 * d1 as i128))
+            }
+            _ => {
+                let (an, ad) = self.big_parts();
+                let (bn, bd) = other.big_parts();
+                (&*an * &*bd).cmp(&(&*bn * &*ad))
+            }
+        }
     }
 }
 
 impl fmt::Display for Ratio {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.den.is_one() {
-            write!(f, "{}", self.num)
-        } else {
-            write!(f, "{}/{}", self.num, self.den)
+        match &self.repr {
+            Repr::Small(n, 1) => write!(f, "{n}"),
+            Repr::Small(n, d) => write!(f, "{n}/{d}"),
+            Repr::Big(b) if b.1.is_one() => write!(f, "{}", b.0),
+            Repr::Big(b) => write!(f, "{}/{}", b.0, b.1),
         }
     }
 }
@@ -370,9 +569,20 @@ impl std::iter::Sum for Ratio {
     }
 }
 
+impl<'a> std::iter::Sum<&'a Ratio> for Ratio {
+    fn sum<I: Iterator<Item = &'a Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |acc, x| acc + x)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Whether the value is held in the inline representation.
+    fn is_small(r: &Ratio) -> bool {
+        matches!(r.repr, Repr::Small(..))
+    }
 
     #[test]
     fn normalisation() {
@@ -380,11 +590,7 @@ mod tests {
         assert_eq!(Ratio::new(-2, -4), Ratio::new(1, 2));
         assert_eq!(Ratio::new(2, -4), Ratio::new(-1, 2));
         assert_eq!(Ratio::new(0, 7), Ratio::zero());
-        assert_eq!(Ratio::new(0, 7).denom(), &mcnetkat_num_one());
-    }
-
-    fn mcnetkat_num_one() -> BigInt {
-        BigInt::one()
+        assert_eq!(Ratio::new(0, 7).denom(), BigInt::one());
     }
 
     #[test]
@@ -439,7 +645,11 @@ mod tests {
     fn pow_and_recip() {
         assert_eq!(Ratio::new(2, 3).pow(3), Ratio::new(8, 27));
         assert_eq!(Ratio::new(2, 3).recip(), Ratio::new(3, 2));
+        assert_eq!(Ratio::new(-2, 3).recip(), Ratio::new(-3, 2));
         assert_eq!(Ratio::new(2, 3).pow(0), Ratio::one());
+        // Power past the i128 fast path still lands on the exact value.
+        let big = Ratio::new(3, 2).pow(100);
+        assert_eq!(big, &Ratio::new(3, 2).pow(50) * &Ratio::new(3, 2).pow(50));
     }
 
     #[test]
@@ -458,5 +668,66 @@ mod tests {
             acc += &third;
         }
         assert_eq!(acc, Ratio::from_integer(33));
+    }
+
+    #[test]
+    fn small_values_stay_inline() {
+        // Probability arithmetic keeps the inline representation.
+        let a = Ratio::new(1, 1000);
+        let b = Ratio::new(999, 1000);
+        assert!(is_small(&(&a + &b)));
+        assert!(is_small(&(&a * &b)));
+        assert!(is_small(&(&b - &a)));
+        assert!(is_small(&(&a / &b)));
+        assert!(is_small(&(-a)));
+    }
+
+    #[test]
+    fn overflow_promotes_and_demotes() {
+        let big = Ratio::new(i64::MAX, 1);
+        let sq = &big * &big; // > i64::MAX: must promote
+        assert!(!is_small(&sq));
+        let back = &sq / &big; // exact division demotes again
+        assert!(is_small(&back));
+        assert_eq!(back, big);
+        // i64::MIN does not fit the symmetric Small range.
+        let min = Ratio::new(i64::MIN, 1);
+        assert!(!is_small(&min));
+        assert_eq!(-min, &Ratio::new(i64::MAX, 1) + &Ratio::one());
+    }
+
+    #[test]
+    fn from_bigints_handles_i128_min() {
+        // i128::MIN cannot be negated in i128; the machine-word fast path
+        // must skip it rather than overflow.
+        let min = BigInt::from(i128::MIN);
+        let r = Ratio::from_bigints(BigInt::from(1i64), min.clone());
+        assert_eq!(r, Ratio::from_bigints(BigInt::from(-1i64), -min.clone()));
+        assert!(r.is_negative());
+        assert_eq!(r.denom(), -min.clone());
+        let n = Ratio::from_bigints(min.clone(), BigInt::from(2i64));
+        assert_eq!(n.numer(), min.divmod(&BigInt::from(2i64)).0);
+        assert_eq!(n.denom(), BigInt::one());
+    }
+
+    #[test]
+    fn representation_is_canonical_for_eq_and_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // The same value reached via the big path and the small path must
+        // compare and hash identically.
+        let via_big = Ratio::from_bigints(
+            BigInt::from(7u64) * BigInt::from(1u64 << 40),
+            BigInt::from(14u64) * BigInt::from(1u64 << 40),
+        );
+        let via_small = Ratio::new(1, 2);
+        assert_eq!(via_big, via_small);
+        let hash = |r: &Ratio| {
+            let mut h = DefaultHasher::new();
+            r.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&via_big), hash(&via_small));
+        assert!(is_small(&via_big));
     }
 }

@@ -1,0 +1,163 @@
+//! Minimal, dependency-free stand-in for the [`fxhash`] crate.
+//!
+//! The build environment is fully offline, so this shim reimplements the
+//! FxHash algorithm used by the Firefox and rustc hash tables: a
+//! multiply-xor word hash with no SipHash-style keying. It is **not**
+//! HashDoS-resistant — it is for interior hash tables whose keys are
+//! trusted (hash-cons maps, memo caches), where it is several times
+//! faster than the `std` default because small keys hash in a couple of
+//! multiply instructions.
+//!
+//! The API surface matches the slice the workspace uses: [`FxHasher`],
+//! [`FxBuildHasher`], and the [`FxHashMap`]/[`FxHashSet`] aliases.
+//!
+//! [`fxhash`]: https://docs.rs/fxhash
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier (from Firefox; also used by rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`-constructible).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The Fx word hasher: `state = (rotl5(state) ^ word) * SEED` per word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (chunk, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_ne_bytes(chunk.try_into().unwrap()));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (chunk, rest) = bytes.split_at(4);
+            self.add_to_hash(u32::from_ne_bytes(chunk.try_into().unwrap()) as u64);
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add_to_hash(v as u64);
+        self.add_to_hash((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, v: i8) {
+        self.add_to_hash(v as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, v: i16) {
+        self.add_to_hash(v as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.add_to_hash(v as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, v: isize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        // Unlike SipHash's RandomState, Fx has no per-instance key.
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&(1u32, 2u32)), hash_of(&(1u32, 2u32)));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&(1u32, 2u32)), hash_of(&(2u32, 1u32)));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        m.insert((1, 2), 3);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let a = b"hello world".to_vec();
+        let b = b"hello world".to_vec();
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_ne!(hash_of(&a), hash_of(&b"hello worle".to_vec()));
+    }
+}
