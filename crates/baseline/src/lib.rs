@@ -69,7 +69,8 @@ impl ExactInference {
         let dist = interp.eval_packet(prog, input);
         let delivered: Ratio = dist
             .iter()
-            .filter_map(|(o, r)| o.is_some().then(|| r.clone()))
+            .filter(|(o, _)| o.is_some())
+            .map(|(_, r)| r.clone())
             .sum();
         InferenceResult {
             probability: delivered,

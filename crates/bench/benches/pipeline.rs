@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcnetkat_fdd::{CompileOptions, Manager};
 use mcnetkat_linalg::{AbsorbingChain, SolverBackend};
-use mcnetkat_net::{chain_benchmark, FailureModel, NetworkModel, RoutingScheme};
+use mcnetkat_net::{chain_benchmark, FailureModel, FailureSpec, NetworkModel, RoutingScheme, Srlg};
 use mcnetkat_num::Ratio;
 use mcnetkat_prism::{check_reachability, translate, McMode};
 use mcnetkat_topo::fattree;
@@ -31,6 +31,29 @@ fn bench_fattree_compile(c: &mut Criterion) {
                 })
             });
         }
+    }
+    group.finish();
+}
+
+/// Correlated shared-risk-group failures: one "line card" group per
+/// non-edge switch (all its down links fail together, pr 1/1000).
+/// Exercises the group-draw encoding, the per-hop group erasure, and the
+/// final scratch-field projection (`Manager::forget`).
+fn bench_fattree_srlg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fattree_srlg");
+    group.sample_size(10);
+    for p in [4usize, 6] {
+        let topo = fattree(p);
+        let dst = topo.find("edge0_0").unwrap();
+        let pr = Ratio::new(1, 1000);
+        let spec = FailureSpec::independent(Ratio::zero()).with_groups(Srlg::linecards(&topo, &pr));
+        let model = NetworkModel::new(topo.clone(), dst, RoutingScheme::Ecmp, spec);
+        group.bench_with_input(BenchmarkId::new("linecard1000", p), &model, |b, model| {
+            b.iter(|| {
+                let mgr = Manager::new();
+                model.compile(&mgr).unwrap()
+            })
+        });
     }
     group.finish();
 }
@@ -123,6 +146,7 @@ fn bench_exact_vs_float_loops(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_fattree_compile,
+    bench_fattree_srlg,
     bench_chain_engines,
     bench_solver_backends,
     bench_exact_vs_float_loops

@@ -62,6 +62,12 @@ impl Pred {
     }
 
     /// Negation `¬self`.
+    ///
+    /// Deliberately named like the paper's `¬` combinator rather than
+    /// routed through `std::ops::Not`: predicates are consumed by value in
+    /// builder chains (`t.and(u).not()`), and `!t` syntax would read as
+    /// boolean evaluation, not AST construction.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Pred {
         match self {
             Pred::True => Pred::False,

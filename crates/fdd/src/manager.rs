@@ -502,6 +502,27 @@ impl Manager {
         }
     }
 
+    /// Projects write-only scratch fields out of a diagram: every
+    /// modification of a field in `fields` is removed from every leaf
+    /// action (merging actions that become equal, with their probabilities
+    /// added). This is the FDD-level scope exit for fields used purely as
+    /// internal scratch state — e.g. the shared-risk-group health fields
+    /// of `mcnetkat-net`, which are drawn and consumed within a single hop
+    /// and must not leak into the compiled model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the diagram *tests* any of the fields: a tested scratch
+    /// field is observable, so projecting it away would change semantics.
+    pub fn forget(&self, p: Fdd, fields: &[Field]) -> Fdd {
+        if fields.is_empty() {
+            return p;
+        }
+        let mut inner = self.inner.lock();
+        let mut memo = FxHashMap::default();
+        inner.forget(p, fields, &mut memo)
+    }
+
     /// Snapshot of every operation cache's hit/miss/entry counters.
     ///
     /// `cons` is the hash-cons map (hits = structurally duplicate nodes);
@@ -664,6 +685,46 @@ impl Inner {
         let out = self.intern_dist(d.map_actions(|a| mods.then(a)));
         self.dist_then_cache.insert(key, out);
         out
+    }
+
+    /// See [`Manager::forget`]. The memo is per-call: the result depends
+    /// on the forgotten field set, which is not worth keying a persistent
+    /// cache on (the operation runs once per compiled model).
+    fn forget(&mut self, p: Fdd, fields: &[Field], memo: &mut FxHashMap<Fdd, Fdd>) -> Fdd {
+        if let Some(&hit) = memo.get(&p) {
+            return hit;
+        }
+        let result = match self.nodes[p.0 as usize] {
+            Node::Leaf(did) => {
+                let d = self.dists[did.0 as usize].clone();
+                let stripped = d.map_actions(|a| match a {
+                    Action::Drop => Action::Drop,
+                    Action::Mods(mods) => Action::Mods(
+                        mods.iter()
+                            .copied()
+                            .filter(|(f, _)| !fields.contains(f))
+                            .collect(),
+                    ),
+                });
+                self.mk_leaf(stripped)
+            }
+            Node::Branch {
+                field,
+                value,
+                hi,
+                lo,
+            } => {
+                assert!(
+                    !fields.contains(&field),
+                    "cannot forget field {field}: the diagram tests it"
+                );
+                let nh = self.forget(hi, fields, memo);
+                let nl = self.forget(lo, fields, memo);
+                self.mk_branch(field, value, nh, nl)
+            }
+        };
+        memo.insert(p, result);
+        result
     }
 
     fn restrict_eq(&mut self, p: Fdd, f: Field, v: Value) -> Fdd {
@@ -1097,6 +1158,51 @@ mod tests {
         // pass + the assign leaf = 2 distributions; re-interning added none.
         let _ = mgr.pass();
         assert_eq!(mgr.dist_count(), 2);
+    }
+
+    #[test]
+    fn forget_strips_scratch_mods_and_merges_actions() {
+        let mgr = Manager::new();
+        let (f, g) = fields();
+        // Two actions differing only in the scratch field g collapse into
+        // one, with their probabilities added.
+        let d = ActionDist::from_pairs([
+            (Action::mods([(f, 1), (g, 0)]), Ratio::new(1, 4)),
+            (Action::mods([(f, 1), (g, 1)]), Ratio::new(1, 4)),
+            (Action::Drop, Ratio::new(1, 2)),
+        ]);
+        let p = mgr.leaf(d);
+        let q = mgr.forget(p, &[g]);
+        let out = mgr.eval(q, &Packet::new());
+        assert_eq!(out.prob(&Action::assign(f, 1)), Ratio::new(1, 2));
+        assert_eq!(out.prob(&Action::Drop), Ratio::new(1, 2));
+        assert_eq!(out.support_size(), 2);
+    }
+
+    #[test]
+    fn forget_preserves_tests_on_other_fields() {
+        let mgr = Manager::new();
+        let (f, g) = fields();
+        let hi = mgr.leaf(ActionDist::dirac(Action::mods([(g, 7)])));
+        let p = mgr.branch(f, 1, hi, mgr.fail());
+        let q = mgr.forget(p, &[g]);
+        // The f test survives; the g modification is gone.
+        assert!(mgr
+            .eval(q, &Packet::new().with(f, 1))
+            .iter()
+            .all(|(a, _)| a.is_skip()));
+        assert!(mgr.eval(q, &Packet::new()).is_drop());
+        // Forgetting nothing is the identity.
+        assert_eq!(mgr.forget(p, &[]), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "tests it")]
+    fn forget_rejects_tested_fields() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        let p = mgr.branch(f, 1, mgr.pass(), mgr.fail());
+        let _ = mgr.forget(p, &[f]);
     }
 
     #[test]

@@ -173,7 +173,7 @@ impl AbsorbingChain {
                 let lu = SparseLu::factor(&iq.to_csr())?;
                 let mut cols = Vec::with_capacity(na);
                 for a in 0..na {
-                    let rhs: Vec<f64> = (0..nt).map(|t| r[t][a]).collect();
+                    let rhs: Vec<f64> = r.iter().take(nt).map(|row| row[a]).collect();
                     cols.push(lu.solve(&rhs));
                 }
                 transpose(cols, nt)
@@ -182,7 +182,7 @@ impl AbsorbingChain {
                 let opts = IterativeOptions::default();
                 let mut cols = Vec::with_capacity(na);
                 for a in 0..na {
-                    let rhs: Vec<f64> = (0..nt).map(|t| r[t][a]).collect();
+                    let rhs: Vec<f64> = r.iter().take(nt).map(|row| row[a]).collect();
                     let x = match backend {
                         SolverBackend::GaussSeidel => gauss_seidel(&qm, &rhs, opts)?,
                         _ => jacobi(&qm, &rhs, opts)?,

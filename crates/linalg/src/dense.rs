@@ -107,8 +107,8 @@ impl<T: Scalar> DenseMatrix<T> {
         (0..self.rows)
             .map(|i| {
                 let mut acc = T::zero();
-                for j in 0..self.cols {
-                    acc = acc.add(&self.get(i, j).mul(&v[j]));
+                for (j, vj) in v.iter().enumerate() {
+                    acc = acc.add(&self.get(i, j).mul(vj));
                 }
                 acc
             })

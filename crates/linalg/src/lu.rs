@@ -281,8 +281,8 @@ mod tests {
             // Diagonally dominant ⇒ nonsingular.
             let mut entries = Vec::new();
             let mut dense_rows = vec![vec![0.0; n]; n];
-            for i in 0..n {
-                for j in 0..n {
+            for (i, row) in dense_rows.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
                     if i == j || rng.gen_bool(0.4) {
                         let v: f64 = if i == j {
                             n as f64 + rng.gen_range(0.5..2.0)
@@ -290,7 +290,7 @@ mod tests {
                             rng.gen_range(-1.0..1.0)
                         };
                         entries.push((i, j, v));
-                        dense_rows[i][j] = v;
+                        *cell = v;
                     }
                 }
             }

@@ -153,9 +153,9 @@ impl CsrMatrix {
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_transpose dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
+        for (i, &xi) in x.iter().enumerate() {
             for (j, v) in self.row(i) {
-                out[j] += v * x[i];
+                out[j] += v * xi;
             }
         }
         out

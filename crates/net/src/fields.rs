@@ -22,12 +22,24 @@ pub struct NetFields {
     pub cnt: Field,
     /// `up_i` link-health flags, indexed by port number (1-based).
     ups: Vec<Field>,
+    /// `grp_j` shared-risk-group health flags, indexed by group (1-based).
+    /// Scratch state: drawn once per group per hop, consumed by the member
+    /// links' `up_i` derivations, erased before the next hop, and projected
+    /// out of the compiled diagram entirely (`Manager::forget`).
+    grps: Vec<Field>,
 }
 
 impl NetFields {
     /// Interns the canonical fields for a topology with maximum degree
     /// `max_ports`.
     pub fn new(max_ports: usize) -> NetFields {
+        NetFields::with_groups(max_ports, 0)
+    }
+
+    /// Interns the canonical fields plus `groups` shared-risk-group health
+    /// flags (for models with a [`crate::FailureSpec`] that declares
+    /// SRLGs).
+    pub fn with_groups(max_ports: usize, groups: usize) -> NetFields {
         NetFields {
             sw: Field::named("sw"),
             pt: Field::named("pt"),
@@ -36,6 +48,9 @@ impl NetFields {
             cnt: Field::named("cnt"),
             ups: (1..=max_ports)
                 .map(|i| Field::named(&format!("up{i}")))
+                .collect(),
+            grps: (1..=groups)
+                .map(|j| Field::named(&format!("grp{j}")))
                 .collect(),
         }
     }
@@ -52,6 +67,20 @@ impl NetFields {
     /// All `up` fields, in port order.
     pub fn ups(&self) -> &[Field] {
         &self.ups
+    }
+
+    /// The `grp_j` health flag for shared-risk group `j` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is 0 or exceeds the declared group count.
+    pub fn grp(&self, j: u32) -> Field {
+        self.grps[(j as usize).checked_sub(1).expect("groups are 1-based")]
+    }
+
+    /// All group fields, in group order.
+    pub fn grps(&self) -> &[Field] {
+        &self.grps
     }
 }
 
@@ -73,5 +102,16 @@ mod tests {
         let b = NetFields::new(2);
         assert_eq!(a.sw, b.sw);
         assert_eq!(a.up(2), b.up(2));
+    }
+
+    #[test]
+    fn group_fields_are_one_based_and_shared() {
+        let a = NetFields::with_groups(2, 3);
+        let b = NetFields::with_groups(4, 2);
+        assert_eq!(a.grp(1).name(), "grp1");
+        assert_eq!(a.grp(3).name(), "grp3");
+        assert_eq!(a.grps().len(), 3);
+        assert_eq!(a.grp(2), b.grp(2));
+        assert!(NetFields::new(2).grps().is_empty());
     }
 }

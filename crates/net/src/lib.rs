@@ -1,7 +1,9 @@
 //! Network models for McNetKAT: the `M(p, t)` / `M̂(p, t, f)` constructions
 //! of §2 and §7, routing schemes (ECMP/F10₀, F10₃, F10₃,₅), failure models
-//! `f_k`, the teleport specification, verification queries, and the
-//! parallel per-switch compilation backend.
+//! `f_k` and their generalisation [`FailureSpec`] (per-link heterogeneous
+//! probabilities, correlated shared-risk link groups), the teleport
+//! specification, verification queries, and the parallel per-switch
+//! compilation backend.
 
 mod chain;
 mod example;
@@ -14,9 +16,9 @@ mod scheme;
 
 pub use chain::{chain_benchmark, chain_delivery_native, chain_expected_delivery, ChainBenchmark};
 pub use example::{running_example, RunningExample};
-pub use failure::FailureModel;
+pub use failure::{FailureModel, FailureSpec, Srlg};
 pub use fields::NetFields;
 pub use model::{teleport, NetworkModel};
 pub use parallel::compile_model_parallel;
 pub use queries::{HopStats, Queries};
-pub use scheme::RoutingScheme;
+pub use scheme::{down_ports, RoutingScheme};

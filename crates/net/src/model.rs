@@ -12,7 +12,7 @@
 //! every hop).
 
 use crate::scheme::{down_ports, switch_program};
-use crate::{FailureModel, NetFields, RoutingScheme};
+use crate::{FailureSpec, NetFields, RoutingScheme};
 use mcnetkat_core::{Pred, Prog};
 use mcnetkat_fdd::{CompileError, CompileOptions, Fdd, Manager};
 use mcnetkat_topo::{Level, NodeId, ShortestPaths, Topology};
@@ -28,22 +28,35 @@ pub struct NetworkModel {
     pub fields: NetFields,
     /// Routing scheme on every switch.
     pub scheme: RoutingScheme,
-    /// Failure model run at every hop.
-    pub failure: FailureModel,
+    /// Failure specification run at every hop (the plain [`crate::FailureModel`]
+    /// converts into this via `Into`).
+    pub failure: FailureSpec,
     /// When set, a hop counter is threaded through the model, capped at
     /// this many hops (for the path-stretch analyses of Figure 12 b/c).
     pub hop_cap: Option<u32>,
 }
 
 impl NetworkModel {
-    /// Builds a model for `topo` with destination `dst`.
+    /// Builds a model for `topo` with destination `dst`. `failure` is
+    /// anything convertible into a [`FailureSpec`] — a plain
+    /// [`crate::FailureModel`] or a full spec with overrides and
+    /// shared-risk groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`FailureSpec::validate`] against `topo`
+    /// (bad probabilities, unknown group members, overlapping groups).
     pub fn new(
         topo: Topology,
         dst: NodeId,
         scheme: RoutingScheme,
-        failure: FailureModel,
+        failure: impl Into<FailureSpec>,
     ) -> NetworkModel {
-        let fields = NetFields::new(topo.max_degree());
+        let failure = failure.into();
+        if let Err(e) = failure.validate(&topo) {
+            panic!("invalid failure spec: {e}");
+        }
+        let fields = NetFields::with_groups(topo.max_degree(), failure.group_count());
         NetworkModel {
             topo,
             dst,
@@ -91,11 +104,24 @@ impl NetworkModel {
         down_ports(&self.topo, s)
     }
 
+    /// The failure-prone ports any switch ever draws — the union of
+    /// [`NetworkModel::prone_ports`] over all switches. Ports outside this
+    /// set are never drawn, so the per-hop erasure skips them.
+    pub fn drawn_ports(&self) -> Vec<u32> {
+        let mut drawn = std::collections::BTreeSet::new();
+        for &s in self.topo.switches() {
+            drawn.extend(self.prone_ports(s));
+        }
+        drawn.into_iter().collect()
+    }
+
     /// The per-switch hop program `f_s ; p_s`: draw link health, then
     /// forward.
     pub fn switch_policy(&self, s: NodeId, sp: &ShortestPaths) -> Prog {
         let prone = self.prone_ports(s);
-        let draw = self.failure.hop_program(&self.fields, &prone);
+        let draw = self
+            .failure
+            .hop_program(&self.fields, self.topo.sw_value(s), &prone);
         let route = switch_program(self.scheme, &self.fields, &self.topo, sp, s, self.dst);
         draw.seq(route)
     }
@@ -153,8 +179,12 @@ impl NetworkModel {
         }
         // Clear the flags: they are re-drawn next hop, and carrying them in
         // the loop state would blow up the chain for no semantic gain.
-        let all_ports: Vec<u32> = (1..=self.topo.max_degree() as u32).collect();
-        prog.seq(FailureModel::erase_program(&self.fields, &all_ports))
+        // Ports that no switch ever draws keep their declaration value and
+        // need no erasure; group fields are cleared alongside the flags.
+        prog.seq(
+            self.failure
+                .erase_program(&self.fields, &self.drawn_ports()),
+        )
     }
 
     /// The guard: keep forwarding while not at the destination.
@@ -183,20 +213,29 @@ impl NetworkModel {
 
     /// Compiles the model to its big-step FDD.
     ///
+    /// Shared-risk group fields are pure scratch state — drawn, consumed
+    /// and erased within each hop — so they are projected out of the
+    /// compiled diagram ([`Manager::forget`]): the result mentions no
+    /// `grp_j` field, and a spec whose groups are all singletons yields a
+    /// diagram equivalent to the plain independent model's.
+    ///
     /// # Errors
     ///
     /// Propagates [`CompileError`] from the FDD backend.
     pub fn compile(&self, mgr: &Manager) -> Result<Fdd, CompileError> {
-        mgr.compile(&self.program())
+        let fdd = mgr.compile(&self.program())?;
+        Ok(mgr.forget(fdd, self.fields.grps()))
     }
 
-    /// Compiles with explicit options.
+    /// Compiles with explicit options (group scratch fields projected out
+    /// as in [`NetworkModel::compile`]).
     ///
     /// # Errors
     ///
     /// Propagates [`CompileError`] from the FDD backend.
     pub fn compile_with(&self, mgr: &Manager, opts: &CompileOptions) -> Result<Fdd, CompileError> {
-        mgr.compile_with(&self.program(), opts)
+        let fdd = mgr.compile_with(&self.program(), opts)?;
+        Ok(mgr.forget(fdd, self.fields.grps()))
     }
 
     /// The ideal specification: teleport every ingress packet straight to
@@ -246,6 +285,7 @@ pub fn teleport(model: &NetworkModel) -> Prog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FailureModel;
     use mcnetkat_core::Packet;
     use mcnetkat_num::Ratio;
     use mcnetkat_topo::ab_fattree;

@@ -106,7 +106,10 @@ pub fn compile_model_parallel(
     let pre_fdd = mgr.compile_with(&pre, opts)?;
     let post_fdd = mgr.compile_with(&post, opts)?;
     let tmp = mgr.seq(core, post_fdd);
-    Ok(mgr.seq(pre_fdd, tmp))
+    let full = mgr.seq(pre_fdd, tmp);
+    // Project the shared-risk-group scratch fields out, mirroring
+    // `NetworkModel::compile` (no-op for specs without groups).
+    Ok(mgr.forget(full, model.fields.grps()))
 }
 
 /// Compiles one worker's chunk of per-switch programs and folds them into
@@ -187,8 +190,11 @@ fn body_remainder(model: &NetworkModel) -> Prog {
         }
         prog = prog.seq(bump);
     }
-    let ports: Vec<u32> = (1..=model.topo.max_degree() as u32).collect();
-    prog.seq(crate::FailureModel::erase_program(&model.fields, &ports))
+    prog.seq(
+        model
+            .failure
+            .erase_program(&model.fields, &model.drawn_ports()),
+    )
 }
 
 /// The local-variable wrappers of [`NetworkModel::program`] as explicit

@@ -1,6 +1,12 @@
 //! High-level verification queries on compiled network models: delivery
 //! probability, resilience (equivalence with teleport), refinement between
 //! schemes, and hop-count statistics (Figure 12).
+//!
+//! All queries are failure-model agnostic: the Figure 11b k-resilience
+//! check and the refinement order run unchanged under the correlated
+//! shared-risk-group specs of [`crate::FailureSpec`] — the compiled
+//! diagram carries no group scratch state (see
+//! [`crate::NetworkModel::compile`]).
 
 use crate::NetworkModel;
 use mcnetkat_core::Packet;
@@ -251,6 +257,37 @@ mod tests {
         );
         let q = Queries::new(&mgr, &m).unwrap();
         assert!(q.equiv_teleport().unwrap());
+    }
+
+    #[test]
+    fn resilience_table_runs_under_correlated_models() {
+        // The Figure 11b check under a *correlated* bounded spec: with at
+        // most one failure event, F10_3 survives any single-link group
+        // but not a group spanning an aggregation switch's line card
+        // towards the destination edge.
+        use crate::{FailureSpec, Srlg};
+        let mgr = Manager::new();
+        let topo = ab_fattree(4);
+        let dst = topo.find("edge0_0").unwrap();
+        let agg = topo.find("agg0_0").unwrap();
+        let pr = Ratio::new(1, 100);
+        let single = FailureSpec::bounded(Ratio::zero(), 1).with_group(Srlg::new(
+            "one-link",
+            pr.clone(),
+            vec![(topo.sw_value(agg), 1)],
+        ));
+        let m = NetworkModel::new(topo.clone(), dst, RoutingScheme::F10_3, single);
+        let q = Queries::new(&mgr, &m).unwrap();
+        assert!(q.equiv_teleport().unwrap());
+        // A core's whole line card in one group: rerouting candidates die
+        // with the primary, so 1-resilience is lost.
+        let core = topo.find("core0").unwrap();
+        let card =
+            FailureSpec::bounded(Ratio::zero(), 1).with_group(Srlg::down_links_of(&topo, core, pr));
+        let m = NetworkModel::new(topo.clone(), dst, RoutingScheme::F10_3, card);
+        let q = Queries::new(&mgr, &m).unwrap();
+        assert!(!q.equiv_teleport().unwrap());
+        assert!(q.min_delivery() < Ratio::one());
     }
 
     #[test]

@@ -81,8 +81,10 @@ impl Candidates {
 }
 
 /// The ports of `s` that point *down* the fabric (these are the
-/// failure-prone links of §7's model).
-pub(crate) fn down_ports(topo: &Topology, s: NodeId) -> Vec<u32> {
+/// failure-prone links of §7's model). Exposed so failure specifications
+/// — e.g. custom [`crate::Srlg`] groups — can be built against a topology
+/// before any [`crate::NetworkModel`] exists.
+pub fn down_ports(topo: &Topology, s: NodeId) -> Vec<u32> {
     let my_level = topo.info(s).level;
     topo.ports(s)
         .iter()

@@ -1,0 +1,154 @@
+//! Property tests for failure-model hop programs: every variant —
+//! uniform, bounded, heterogeneous, and SRLG — must yield a probability
+//! distribution with mass exactly 1, and bounded variants must respect
+//! the failure budget (at most `k` failure events in the support, with a
+//! group event charged once however many links it downs).
+
+use mcnetkat_core::{Interp, Packet};
+use mcnetkat_net::{FailureSpec, NetFields, Srlg};
+use mcnetkat_num::Ratio;
+use proptest::prelude::*;
+
+/// The switch every generated spec draws for.
+const SW: u32 = 1;
+/// The failure-prone ports of the generated hop.
+const PORTS: [u32; 3] = [1, 2, 3];
+
+/// Group layouts over `PORTS`: index into this table is generated.
+/// `None` entries draw independently.
+fn group_layout(sel: u8) -> Vec<Vec<(u32, u32)>> {
+    match sel % 4 {
+        0 => vec![],                                      // no groups
+        1 => vec![vec![(SW, 1), (SW, 2)]],                // one pair
+        2 => vec![vec![(SW, 1), (SW, 2), (SW, 3)]],       // whole line card
+        _ => vec![vec![(SW, 1)], vec![(SW, 2), (SW, 3)]], // singleton + pair
+    }
+}
+
+/// A random composite spec: uniform pr, optional budget, an override on
+/// port 2, and one of the group layouts.
+fn arb_spec() -> impl Strategy<Value = FailureSpec> {
+    (0..=4i64, 0..4u32, 0..=4i64, 0..4u8, 0..=4i64).prop_map(
+        |(num, ksel, override_num, layout, group_num)| {
+            let pr = Ratio::new(num, 4);
+            let mut spec = match ksel {
+                0 => FailureSpec::independent(pr),
+                k => FailureSpec::bounded(pr, k - 1),
+            };
+            spec = spec.with_link_pr(2, Ratio::new(override_num, 4));
+            for (j, members) in group_layout(layout).into_iter().enumerate() {
+                spec = spec.with_group(Srlg::new(
+                    format!("g{j}"),
+                    Ratio::new(group_num, 4),
+                    members,
+                ));
+            }
+            spec
+        },
+    )
+}
+
+/// The failure events of one outcome: downed drawn groups count once,
+/// downed ungrouped ports once each.
+fn failure_events(spec: &FailureSpec, fields: &NetFields, pk: &Packet) -> u32 {
+    let mut events = 0;
+    let mut grouped = std::collections::BTreeSet::new();
+    for g in &spec.groups {
+        let members: Vec<u32> = g
+            .members
+            .iter()
+            .filter(|&&(sw, _)| sw == SW)
+            .map(|&(_, p)| p)
+            .collect();
+        grouped.extend(members.iter().copied());
+        if !members.is_empty() && members.iter().all(|&p| pk.get(fields.up(p)) == 0) {
+            events += 1;
+        }
+    }
+    for &p in &PORTS {
+        if !grouped.contains(&p) && pk.get(fields.up(p)) == 0 {
+            events += 1;
+        }
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Mass is exactly 1 and nothing is ever dropped by a failure draw.
+    #[test]
+    fn hop_program_is_a_distribution(spec in arb_spec()) {
+        let fields = NetFields::with_groups(PORTS.len(), spec.group_count());
+        let prog = spec.hop_program(&fields, SW, &PORTS);
+        let d = Interp::new().eval_packet(&prog, &Packet::new());
+        prop_assert_eq!(d.mass(), Ratio::one());
+        prop_assert_eq!(d.drop_prob(), Ratio::zero());
+    }
+
+    /// Bounded specs exhibit at most `k` failure events in their support,
+    /// the budget counter records exactly that number, and unbounded
+    /// specs never touch the counter.
+    #[test]
+    fn budget_bounds_failure_events(spec in arb_spec()) {
+        let fields = NetFields::with_groups(PORTS.len(), spec.group_count());
+        let prog = spec.hop_program(&fields, SW, &PORTS);
+        let d = Interp::new().eval_packet(&prog, &Packet::new());
+        for (out, pr) in d.iter() {
+            let out = out.as_ref().expect("failure draws never drop");
+            prop_assert!(!pr.is_zero());
+            let events = failure_events(&spec, &fields, out);
+            match spec.k {
+                Some(k) => {
+                    prop_assert!(events <= k, "{events} events under budget {k}");
+                    prop_assert_eq!(out.get(fields.fl), events, "fl mismatch");
+                }
+                None => prop_assert_eq!(out.get(fields.fl), 0, "fl drawn without budget"),
+            }
+        }
+    }
+
+    /// Correlation invariant: all members of one group always agree.
+    #[test]
+    fn group_members_always_agree(spec in arb_spec()) {
+        let fields = NetFields::with_groups(PORTS.len(), spec.group_count());
+        let prog = spec.hop_program(&fields, SW, &PORTS);
+        let d = Interp::new().eval_packet(&prog, &Packet::new());
+        for (out, _) in d.iter() {
+            let out = out.as_ref().unwrap();
+            for g in &spec.groups {
+                let states: Vec<u32> = g
+                    .members
+                    .iter()
+                    .filter(|&&(sw, _)| sw == SW)
+                    .map(|&(_, p)| out.get(fields.up(p)))
+                    .collect();
+                prop_assert!(
+                    states.windows(2).all(|w| w[0] == w[1]),
+                    "group {} split: {states:?}",
+                    &g.name
+                );
+            }
+        }
+    }
+
+    /// An exhausted budget freezes the draw: starting at `fl = k`, the
+    /// only outcome is "everything up".
+    #[test]
+    fn exhausted_budget_freezes_all_draws(spec in arb_spec()) {
+        let Some(k) = spec.k else { return Ok(()) };
+        let fields = NetFields::with_groups(PORTS.len(), spec.group_count());
+        let prog = spec.hop_program(&fields, SW, &PORTS);
+        let start = Packet::new().with(fields.fl, k.max(1));
+        // `fl` can only legitimately sit at k when k > 0; for k = 0 the
+        // spec is failure-free and the claim holds trivially from fl = 0.
+        if k == 0 { return Ok(()) }
+        let d = Interp::new().eval_packet(&prog, &start);
+        for (out, _) in d.iter() {
+            let out = out.as_ref().unwrap();
+            for &p in &PORTS {
+                prop_assert_eq!(out.get(fields.up(p)), 1, "port {} down at budget", p);
+            }
+        }
+    }
+}

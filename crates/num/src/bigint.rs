@@ -94,8 +94,8 @@ impl BigInt {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let sum = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let sum = limb as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
             out.push(sum as u32);
             carry = sum >> BASE_BITS;
         }
@@ -110,8 +110,8 @@ impl BigInt {
         debug_assert!(Self::cmp_abs(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0i64;
-        for i in 0..a.len() {
-            let mut diff = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+        for (i, &limb) in a.iter().enumerate() {
+            let mut diff = limb as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
             if diff < 0 {
                 diff += 1 << BASE_BITS;
                 borrow = 1;
@@ -377,7 +377,7 @@ fn shl_bits(v: &[u32], shift: u32) -> Vec<u32> {
     let mut carry = 0u32;
     for &x in v {
         out.push((x << shift) | carry);
-        carry = (x >> (BASE_BITS - shift)) as u32;
+        carry = x >> (BASE_BITS - shift);
     }
     if carry != 0 {
         out.push(carry);

@@ -60,7 +60,9 @@ pub fn to_dot(topo: &Topology) -> String {
     // Each undirected link once: emit from the lower node id.
     for n in topo.nodes() {
         for pp in topo.ports(n) {
-            if pp.peer.0 > n.0 || (pp.peer.0 == n.0 && false) {
+            // Self-loops cannot occur (`link` connects distinct nodes), so
+            // strict "greater" covers every link exactly once.
+            if pp.peer.0 > n.0 {
                 out.push_str(&format!(
                     "  {} -- {} [src_port={}, dst_port={}];\n",
                     topo.info(n).name,

@@ -25,7 +25,10 @@ pub fn fattree(p: usize) -> Topology {
 /// Shared construction for FatTree and AB FatTree: `pod_type` picks each
 /// pod's core wiring.
 pub(crate) fn build(p: usize, pod_type: impl Fn(usize) -> PodType) -> Topology {
-    assert!(p >= 2 && p % 2 == 0, "FatTree arity must be even, got {p}");
+    assert!(
+        p >= 2 && p.is_multiple_of(2),
+        "FatTree arity must be even, got {p}"
+    );
     let half = p / 2;
     let mut t = Topology::new();
 
