@@ -13,9 +13,10 @@ use mcnetkat_topo::fattree;
 fn bench_fattree_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("fattree_compile");
     group.sample_size(10);
-    // p = 8 is the ROADMAP's scaling frontier (85× slower than p = 6
-    // before the allocation-free hot path); tracking it here keeps the
-    // regression gate pointed at the number that matters for p = 16+.
+    // p = 8 was the body-compile frontier before the fused per-switch
+    // pipeline (965 ms at f1000); p = 10 and 12 were out of reach
+    // entirely. Tracking them keeps the regression gate pointed at the
+    // numbers that matter for the paper's p = 16+ ambitions.
     for p in [4usize, 6, 8] {
         let topo = fattree(p);
         let dst = topo.find("edge0_0").unwrap();
@@ -31,6 +32,19 @@ fn bench_fattree_compile(c: &mut Criterion) {
                 })
             });
         }
+    }
+    // Scales unlocked by the fused pipeline (failure-free so the loop
+    // solve, not the failure draw, dominates).
+    for p in [10usize, 12] {
+        let topo = fattree(p);
+        let dst = topo.find("edge0_0").unwrap();
+        let model = NetworkModel::new(topo, dst, RoutingScheme::Ecmp, FailureModel::none());
+        group.bench_with_input(BenchmarkId::new("f0", p), &model, |b, model| {
+            b.iter(|| {
+                let mgr = Manager::new();
+                model.compile(&mgr).unwrap()
+            })
+        });
     }
     group.finish();
 }

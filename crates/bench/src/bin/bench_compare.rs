@@ -13,6 +13,11 @@
 //! exit code stays zero (baselines are machine-specific, so foreign
 //! hardware will drift). Pass `--fail-on-regress` to exit non-zero on any
 //! regression — that is what the CI job and local pre-merge checks use.
+//! Pass `--stable-only` to restrict the comparison to the benchmarks
+//! whose medians are robust across machines (`solver_backends/*` and
+//! `chain_engines/native_fdd` — pure CPU-bound kernels with no allocator
+//! or topology sensitivity); `--stable-only --fail-on-regress` is the
+//! *blocking* CI gate, while the full set stays advisory.
 //!
 //! When a `BENCH_opcache.json` dump is present (written by the
 //! `perf_profile` binary), the op-cache hit rates it contains are appended
@@ -26,25 +31,39 @@
 //! cargo run -p mcnetkat-bench --bin bench_compare -- current.json base.json 20
 //! ```
 //!
-//! Refresh the baseline by copying a fresh `BENCH_results.json` over
-//! `crates/bench/BENCH_baseline.json` (and say so in the PR — baselines
-//! are machine-specific, so CI treats this gate as advisory).
+//! Refresh the baseline with `--update-baseline`: it rewrites
+//! `crates/bench/BENCH_baseline.json` in place from the fresh
+//! `BENCH_results.json` (and say so in the PR — baselines are
+//! machine-specific, so refresh on the reference container).
 
 use mcnetkat_bench::Table;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+/// Benchmarks whose medians are robust across machines — the blocking
+/// subset behind `--stable-only`.
+const STABLE_PREFIXES: &[&str] = &["solver_backends/", "chain_engines/native_fdd"];
+
 fn main() -> ExitCode {
     let mut fail_on_regress = false;
+    let mut update_baseline = false;
+    let mut stable_only = false;
     let args: Vec<String> = std::env::args()
         .skip(1)
-        .filter(|a| {
-            if a == "--fail-on-regress" {
+        .filter(|a| match a.as_str() {
+            "--fail-on-regress" => {
                 fail_on_regress = true;
                 false
-            } else {
-                true
             }
+            "--update-baseline" => {
+                update_baseline = true;
+                false
+            }
+            "--stable-only" => {
+                stable_only = true;
+                false
+            }
+            _ => true,
         })
         .collect();
     // `cargo bench` writes the dump with the *package* directory as CWD,
@@ -64,7 +83,7 @@ fn main() -> ExitCode {
         s.parse().expect("threshold must be a number (percent)")
     });
 
-    let current = match load(current_path) {
+    let mut current = match load(current_path) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("error: {current_path}: {e}");
@@ -72,13 +91,43 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let baseline = match load(baseline_path) {
+
+    if update_baseline {
+        if stable_only {
+            // Rewriting only a subset would silently drop every other
+            // benchmark from the baseline; make the caller choose.
+            eprintln!("error: --update-baseline cannot be combined with --stable-only");
+            return ExitCode::FAILURE;
+        }
+        return match write_baseline(baseline_path, &current) {
+            Ok(()) => {
+                println!(
+                    "rewrote {baseline_path} from {current_path} ({} benchmarks)",
+                    current.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: could not write {baseline_path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut baseline = match load(baseline_path) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("error: {baseline_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    if stable_only {
+        let stable = |n: &str| STABLE_PREFIXES.iter().any(|p| n.starts_with(p));
+        current.retain(|n, _| stable(n));
+        baseline.retain(|n, _| stable(n));
+        println!("stable subset only: {STABLE_PREFIXES:?}");
+    }
 
     println!("comparing {current_path} against {baseline_path} (threshold {threshold_pct}%)\n");
     let mut table = Table::new(&["benchmark", "baseline", "current", "delta", "verdict"]);
@@ -135,6 +184,23 @@ fn main() -> ExitCode {
         println!("\nno regressions beyond {threshold_pct}%");
         ExitCode::SUCCESS
     }
+}
+
+/// Rewrites the baseline file from a fresh results map, in the same flat
+/// JSON shape the criterion shim dumps (integer nanoseconds where the
+/// median is integral, so a round-tripped baseline diffs cleanly).
+fn write_baseline(path: &str, results: &BTreeMap<String, f64>) -> Result<(), String> {
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        if ns.fract() == 0.0 {
+            json.push_str(&format!("  \"{name}\": {ns:.0}{sep}\n"));
+        } else {
+            json.push_str(&format!("  \"{name}\": {ns}{sep}\n"));
+        }
+    }
+    json.push_str("}\n");
+    std::fs::write(path, json).map_err(|e| e.to_string())
 }
 
 /// Prints the op-cache hit rates dumped by `perf_profile`, when present.

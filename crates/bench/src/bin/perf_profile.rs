@@ -1,82 +1,103 @@
-//! Perf profile of the FDD compile path: stage timings, node/distribution
-//! counts, and per-cache hit rates for fattree(6) and fattree(8) with the
-//! paper's f = 1/1000 independent failure model.
+//! Perf profile of the FDD compile path: fused-vs-legacy stage timings,
+//! peak-size gauges, and per-cache hit rates for fattree(6) and fattree(8)
+//! with the paper's f = 1/1000 independent failure model.
 //!
 //! This is the harness behind the ROADMAP's "profile the FDD compile
-//! path" item: it splits a cold `NetworkModel::compile` into its stages
-//! (AST assembly, loop-body FDD compilation, the absorbing-chain `while`
-//! solve) and dumps `Manager::op_cache_stats()` so regressions in cache
-//! effectiveness are visible, not just wall-clock drift.
+//! path" item, rebuilt around the fused per-switch pipeline: it times the
+//! legacy whole-body compile (the old frontier) next to a cold fused
+//! compile, and reports the gauges that prove the restructure — the main
+//! manager's peak live nodes / distribution entries and the largest
+//! per-switch scratch manager ([`mcnetkat_net::FusedStats`]).
 //!
 //! Output: human tables on stdout, plus a flat JSON dump of per-cache hit
 //! rates (percent) to `BENCH_opcache.json` — `bench_compare` appends this
 //! to its report when present. Override the path with
 //! `MCNETKAT_OPCACHE_PATH`; set it to the empty string to disable.
 //!
-//! `MCNETKAT_SCALE=paper` adds fattree(10) to approach the paper's p=16+
-//! ambitions; the default profile (6 and 8) finishes in ~1 s.
+//! `MCNETKAT_SCALE=paper` adds fattree(10) and fattree(12) — scales the
+//! legacy pipeline could not touch; the default profile finishes in ~1 s
+//! (legacy comparison runs at p ≤ 8 only).
+//!
+//! `--order` sweeps the [`mcnetkat_net::FieldOrder`] interning policies
+//! instead (each in its own field namespace, so one process can compare
+//! all of them): with scratch fields eliminated per switch, variable
+//! order is now a second-order effect, and the sweep shows it.
 
 use mcnetkat_bench::{scale, secs, timed, Scale, Table};
 use mcnetkat_fdd::{CompileOptions, Manager};
-use mcnetkat_net::{FailureModel, NetworkModel, RoutingScheme};
+use mcnetkat_net::{FailureModel, FieldOrder, NetFields, NetworkModel, RoutingScheme};
 use mcnetkat_num::Ratio;
 use mcnetkat_topo::fattree;
 
+fn model_for(p: usize) -> NetworkModel {
+    let topo = fattree(p);
+    let dst = topo.find("edge0_0").unwrap();
+    NetworkModel::new(
+        topo,
+        dst,
+        RoutingScheme::Ecmp,
+        FailureModel::independent(Ratio::new(1, 1000)),
+    )
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--order") {
+        order_sweep();
+        return;
+    }
     let ps: &[usize] = match scale() {
         Scale::Small => &[6, 8],
-        Scale::Paper => &[6, 8, 10],
+        Scale::Paper => &[6, 8, 10, 12],
     };
     println!("FDD compile-path profile (ECMP, f = 1/1000)\n");
     let mut stages = Table::new(&[
         "topology",
-        "ast",
-        "body fdd",
-        "while solve",
-        "cold total",
+        "legacy body",
+        "legacy total",
+        "fused total",
+        "speedup",
         "nodes",
-        "dists",
         "dist entries",
+        "scratch nodes",
     ]);
     let mut rates: Vec<(String, f64)> = Vec::new();
     let mut cache_rows: Vec<(String, Vec<String>)> = Vec::new();
     for &p in ps {
-        let topo = fattree(p);
-        let dst = topo.find("edge0_0").unwrap();
-        let model = NetworkModel::new(
-            topo,
-            dst,
-            RoutingScheme::Ecmp,
-            FailureModel::independent(Ratio::new(1, 1000)),
-        );
+        let model = model_for(p);
         let opts = CompileOptions::default();
 
-        // Stage timings in a dedicated manager so each stage is cold.
-        let (ast, t_ast) = timed(|| (model.body(), model.guard()));
-        let (body_prog, guard_pred) = ast;
-        let stage_mgr = Manager::new();
-        let (fbody, t_body) = timed(|| stage_mgr.compile_with(&body_prog, &opts).unwrap());
-        let fguard = stage_mgr.compile_pred(&guard_pred);
-        let (res, t_while) = timed(|| stage_mgr.while_loop(fguard, fbody, &opts));
-        res.expect("while solve");
-        // Free the stage manager before the end-to-end run so its tables
-        // don't distort the cold measurement's allocator behaviour.
-        drop(stage_mgr);
+        // The legacy whole-body path — the pre-fused frontier. Only at
+        // p ≤ 8: beyond that it is exactly the blowup the fused pipeline
+        // removes, and running it would dominate the profile.
+        let (legacy_body, legacy_total) = if p <= 8 {
+            let (ast, _) = timed(|| (model.body(), model.guard()));
+            let (body_prog, _guard) = ast;
+            let stage_mgr = Manager::new();
+            let (res, t_body) = timed(|| stage_mgr.compile_with(&body_prog, &opts));
+            res.expect("legacy body compile");
+            drop(stage_mgr);
+            let legacy_mgr = Manager::new();
+            let (res, t_total) = timed(|| model.compile_legacy_with(&legacy_mgr, &opts));
+            res.expect("legacy compile");
+            (Some(t_body), Some(t_total))
+        } else {
+            (None, None)
+        };
 
-        // The end-to-end number: a cold full-model compile.
+        // The fused pipeline: a cold full-model compile plus its gauges.
         let mgr = Manager::new();
-        let (res, t_total) = timed(|| model.compile(&mgr));
-        res.expect("cold compile");
-        let (dists, entries, _max) = mgr.dist_table_stats();
+        let (res, t_fused) = timed(|| model.compile_with_stats(&mgr, &opts));
+        let (_fdd, fstats) = res.expect("fused compile");
+        let speedup = legacy_total.map_or("—".to_string(), |t| format!("{:.1}×", t / t_fused));
         stages.row(vec![
             format!("fattree({p})"),
-            secs(t_ast),
-            secs(t_body),
-            secs(t_while),
-            secs(t_total),
-            mgr.node_count().to_string(),
-            dists.to_string(),
-            entries.to_string(),
+            legacy_body.map_or("—".into(), secs),
+            legacy_total.map_or("—".into(), secs),
+            secs(t_fused),
+            speedup,
+            mgr.peak_live_nodes().to_string(),
+            mgr.peak_dist_entries().to_string(),
+            fstats.max_scratch_nodes.to_string(),
         ]);
 
         for c in mgr.op_cache_stats().caches {
@@ -98,7 +119,7 @@ fn main() {
     }
     stages.print();
 
-    println!("\nop-cache hit rates (cold full-model compile)");
+    println!("\nop-cache hit rates (cold fused full-model compile)");
     let mut caches = Table::new(&["topology", "cache", "hits", "misses", "entries", "hit rate"]);
     for (topo, row) in cache_rows {
         let mut cells = vec![topo];
@@ -108,6 +129,44 @@ fn main() {
     caches.print();
 
     dump_rates(&rates);
+}
+
+/// Sweeps the [`FieldOrder`] interning policies over fattree(6) and (8),
+/// each policy in its own field namespace so the process-wide interner
+/// cannot bleed one order into the next.
+fn order_sweep() {
+    println!("FieldOrder sweep (fused pipeline, ECMP, f = 1/1000)\n");
+    let mut table = Table::new(&["topology", "order", "fused total", "nodes", "scratch nodes"]);
+    for p in [6usize, 8] {
+        let topo = fattree(p);
+        let dst = topo.find("edge0_0").unwrap();
+        for order in FieldOrder::all() {
+            let ns = format!("ord_{}_{p}", order.name());
+            let fields = NetFields::with_order_in(&ns, topo.max_degree(), 0, order);
+            let model = NetworkModel::new_with_fields(
+                topo.clone(),
+                dst,
+                fields,
+                RoutingScheme::Ecmp,
+                FailureModel::independent(Ratio::new(1, 1000)),
+            );
+            let mgr = Manager::new();
+            let (res, t) = timed(|| model.compile_with_stats(&mgr, &CompileOptions::default()));
+            let (_fdd, stats) = res.expect("fused compile");
+            table.row(vec![
+                format!("fattree({p})"),
+                order.name().to_string(),
+                secs(t),
+                mgr.peak_live_nodes().to_string(),
+                stats.max_scratch_nodes.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\n(orders only reshape the per-switch scratch diagrams now — the \
+         global diagram never sees a scratch field)"
+    );
 }
 
 /// Writes the hit rates as flat JSON (`{"label": percent, …}`), the same

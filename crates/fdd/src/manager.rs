@@ -58,10 +58,17 @@ pub(crate) enum Node {
 }
 
 /// A memo table with hit/miss counters, behind the Fx hasher.
+///
+/// Capacity-bounded: when an insert would push the table past the
+/// manager's `cache_capacity`, the whole table is cleared first
+/// (clear-on-overflow — O(1) amortised, no LRU bookkeeping on the hot
+/// path) and the dropped entries are counted as evictions. Memo tables
+/// only cache *derivable* results, so clearing is always sound.
 struct Cache<K, V> {
     map: FxHashMap<K, V>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl<K, V> Default for Cache<K, V> {
@@ -70,6 +77,7 @@ impl<K, V> Default for Cache<K, V> {
             map: FxHashMap::default(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 }
@@ -88,8 +96,17 @@ impl<K: Eq + Hash, V: Copy> Cache<K, V> {
         }
     }
 
-    fn insert(&mut self, key: K, value: V) {
+    fn insert(&mut self, key: K, value: V, capacity: usize) {
+        if self.map.len() >= capacity {
+            self.evictions += self.map.len() as u64;
+            self.map.clear();
+        }
         self.map.insert(key, value);
+    }
+
+    fn reset(&mut self) {
+        self.evictions += self.map.len() as u64;
+        self.map.clear();
     }
 
     fn stats(&self, name: &'static str) -> OpCacheEntry {
@@ -98,11 +115,11 @@ impl<K: Eq + Hash, V: Copy> Cache<K, V> {
             hits: self.hits,
             misses: self.misses,
             entries: self.map.len(),
+            evictions: self.evictions,
         }
     }
 }
 
-#[derive(Default)]
 struct Inner {
     nodes: Vec<Node>,
     consed: Cache<Node, Fdd>,
@@ -111,6 +128,15 @@ struct Inner {
     /// the manager lock is held.
     dists: Vec<Arc<ActionDist>>,
     dist_ids: FxHashMap<Arc<ActionDist>, DistId>,
+    /// Running total of support entries across `dists` — the
+    /// peak-dist-entry gauge (the store is append-only, so the running
+    /// total *is* the peak).
+    dist_entries: usize,
+    /// Upper bound on each *operation* cache's entry count
+    /// (clear-on-overflow; see [`Manager::set_cache_capacity`]). The
+    /// hash-cons map and the dist/action identity tables are exempt:
+    /// clearing them would duplicate nodes and break canonicity.
+    cache_capacity: usize,
     /// Interned actions (the `prepend` modification sets), `Arc`-shared
     /// between the table and the id map like `dists`.
     actions: Vec<Arc<Action>>,
@@ -135,6 +161,86 @@ struct Inner {
     // select the arithmetic, so the same (guard, body) can legitimately
     // yield different diagrams under different options.
     while_cache: Cache<(Fdd, Fdd, OptsKey), Fdd>,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            nodes: Vec::new(),
+            consed: Cache::default(),
+            dists: Vec::new(),
+            dist_ids: FxHashMap::default(),
+            dist_entries: 0,
+            cache_capacity: usize::MAX,
+            actions: Vec::new(),
+            action_ids: FxHashMap::default(),
+            pass_leaf: None,
+            fail_leaf: None,
+            zero_leaf: None,
+            seq_cache: Cache::default(),
+            sum_cache: Cache::default(),
+            ite_cache: Cache::default(),
+            restrict_eq_cache: Cache::default(),
+            restrict_ne_cache: Cache::default(),
+            scale_cache: Cache::default(),
+            prepend_cache: Cache::default(),
+            dist_sum_cache: Cache::default(),
+            dist_scale_cache: Cache::default(),
+            dist_then_cache: Cache::default(),
+            while_cache: Cache::default(),
+        }
+    }
+}
+
+/// A scratch field to existentially eliminate from a diagram, together
+/// with the distribution its value is drawn from at diagram entry.
+///
+/// Used by [`Manager::eliminate`]. An empty `draw` declares the field
+/// *write-only* scratch: leaf modifications are stripped, but a surviving
+/// test panics (the old [`Manager::forget`] contract). A non-empty `draw`
+/// must be a full distribution (mass exactly 1); surviving tests are then
+/// resolved by convex-summing the branches with the draw's weights —
+/// exactly `draw ; p` followed by projecting the field out.
+#[derive(Clone, Debug)]
+pub struct ScratchField {
+    /// The field to eliminate.
+    pub field: Field,
+    /// Entry distribution over the field's values (empty = write-only).
+    pub draw: Vec<(Value, Ratio)>,
+}
+
+impl ScratchField {
+    /// A write-only scratch field: mods are stripped, tests panic.
+    pub fn write_only(field: Field) -> ScratchField {
+        ScratchField {
+            field,
+            draw: Vec::new(),
+        }
+    }
+
+    /// A field drawn from an explicit distribution at entry.
+    pub fn drawn(field: Field, draw: Vec<(Value, Ratio)>) -> ScratchField {
+        ScratchField { field, draw }
+    }
+
+    /// A health flag: `1` with probability `p_up`, `0` otherwise — the
+    /// shape of every `up_i`/`grp_j` draw in `mcnetkat-net`.
+    pub fn bernoulli(field: Field, p_up: Ratio) -> ScratchField {
+        let p_down = Ratio::one() - p_up.clone();
+        ScratchField {
+            field,
+            draw: vec![(1, p_up), (0, p_down)],
+        }
+    }
+
+    /// Total probability the draw assigns to `v`.
+    fn prob_of(&self, v: Value) -> Ratio {
+        self.draw
+            .iter()
+            .filter(|(u, _)| *u == v)
+            .map(|(_, r)| r)
+            .sum()
+    }
 }
 
 /// Hit/miss counters for the manager's `while`-loop solution cache.
@@ -164,6 +270,9 @@ pub struct OpCacheEntry {
     pub misses: u64,
     /// Entries currently stored.
     pub entries: usize,
+    /// Entries discarded by clear-on-overflow (see
+    /// [`Manager::set_cache_capacity`]) or [`Manager::reset_op_caches`].
+    pub evictions: u64,
 }
 
 impl OpCacheEntry {
@@ -243,9 +352,67 @@ impl Manager {
         }
     }
 
+    /// Creates an empty manager whose operation caches are bounded to
+    /// `capacity` entries each (see [`Manager::set_cache_capacity`]).
+    pub fn with_cache_capacity(capacity: usize) -> Manager {
+        let mgr = Manager::new();
+        mgr.set_cache_capacity(capacity);
+        mgr
+    }
+
+    /// Bounds every *operation* cache (`seq`, `sum`, `ite`,
+    /// `restrict_*`, `scale`, `prepend`, `dist_*`, `while`) to at most
+    /// `capacity` entries. An insert that would exceed the bound clears
+    /// the whole cache first (cheap clear-on-overflow, no LRU tracking);
+    /// cleared entries are reported as `evictions` in
+    /// [`Manager::op_cache_stats`]. The hash-cons map and the
+    /// distribution/action intern tables are *not* bounded: they are
+    /// identity tables, and clearing them would break node canonicity.
+    ///
+    /// The default is `usize::MAX` (unbounded) — the knob exists for
+    /// long-lived managers (e.g. a shared manager serving many
+    /// `while_loop` workflows) whose memo tables would otherwise grow
+    /// without bound.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.inner.lock().cache_capacity = capacity.max(1);
+    }
+
+    /// Clears every operation cache immediately (counted as evictions).
+    /// Node, distribution and action stores are untouched, so existing
+    /// [`Fdd`] handles stay valid; only memoised op results are dropped.
+    pub fn reset_op_caches(&self) {
+        let mut inner = self.inner.lock();
+        inner.seq_cache.reset();
+        inner.sum_cache.reset();
+        inner.ite_cache.reset();
+        inner.restrict_eq_cache.reset();
+        inner.restrict_ne_cache.reset();
+        inner.scale_cache.reset();
+        inner.prepend_cache.reset();
+        inner.dist_sum_cache.reset();
+        inner.dist_scale_cache.reset();
+        inner.dist_then_cache.reset();
+        inner.while_cache.reset();
+    }
+
     /// Number of distinct nodes allocated so far.
     pub fn node_count(&self) -> usize {
         self.inner.lock().nodes.len()
+    }
+
+    /// Peak live node count. Node stores are append-only (operation-cache
+    /// clears drop memo entries, never nodes), so the peak *is* the
+    /// current count — this gauge exists so benchmarks state the metric
+    /// they gate on explicitly.
+    pub fn peak_live_nodes(&self) -> usize {
+        self.node_count()
+    }
+
+    /// Peak total leaf-distribution support entries (the sum of
+    /// `support_size()` over every interned distribution), maintained
+    /// incrementally. Append-only like the node store, so peak = current.
+    pub fn peak_dist_entries(&self) -> usize {
+        self.inner.lock().dist_entries
     }
 
     /// Number of distinct leaf distributions interned so far.
@@ -486,10 +653,9 @@ impl Manager {
 
     /// Records a solved `while` loop in the memo cache.
     pub(crate) fn while_cache_store(&self, guard: Fdd, body: Fdd, key: OptsKey, result: Fdd) {
-        self.inner
-            .lock()
-            .while_cache
-            .insert((guard, body, key), result);
+        let mut inner = self.inner.lock();
+        let cap = inner.cache_capacity;
+        inner.while_cache.insert((guard, body, key), result, cap);
     }
 
     /// Hit/miss counters of the `while`-loop solution cache.
@@ -510,17 +676,67 @@ impl Manager {
     /// of `mcnetkat-net`, which are drawn and consumed within a single hop
     /// and must not leak into the compiled model.
     ///
+    /// The write-only special case of [`Manager::eliminate`].
+    ///
     /// # Panics
     ///
-    /// Panics if the diagram *tests* any of the fields: a tested scratch
-    /// field is observable, so projecting it away would change semantics.
+    /// Panics if the diagram *tests* any of the fields: a write-only
+    /// scratch field is unobservable by contract, so a surviving test
+    /// means the caller's scratch discipline is broken.
     pub fn forget(&self, p: Fdd, fields: &[Field]) -> Fdd {
-        if fields.is_empty() {
+        let scratch: Vec<ScratchField> = fields
+            .iter()
+            .map(|&f| ScratchField::write_only(f))
+            .collect();
+        self.eliminate(p, &scratch)
+    }
+
+    /// True FDD-level existential elimination of scratch fields.
+    ///
+    /// Semantically, `eliminate(p, scratch)` equals `draw ; p` followed by
+    /// projecting every scratch field out of the outputs, where `draw`
+    /// independently samples each scratch field from its entry
+    /// distribution:
+    ///
+    /// * an interior node testing a scratch field `f` is replaced by the
+    ///   convex sum of its branches, weighted by the draw — each arm
+    ///   `f = v` of the test chain gets weight `P(f = v)`, and the
+    ///   fall-through branch gets the remaining mass;
+    /// * leaf modifications of scratch fields are stripped, with actions
+    ///   that become equal merged (probabilities added).
+    ///
+    /// This is what lets the fused per-switch compile pipeline sum link
+    /// health out of a routing diagram *without ever building the draw's
+    /// outcome cross-product*: the routing FDD tests `up_i` along paths,
+    /// and each test is resolved into a weighted average bottom-up.
+    ///
+    /// Sound whenever the scratch fields' entry values are independent of
+    /// each other and of every non-scratch field the diagram tests (true
+    /// for fresh per-hop Bernoulli draws; *not* true for budget-coupled
+    /// draws, which must be compiled into the diagram before write-only
+    /// elimination).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-empty draw's mass is not exactly 1, or if the
+    /// diagram tests a field declared write-only (empty draw).
+    pub fn eliminate(&self, p: Fdd, scratch: &[ScratchField]) -> Fdd {
+        if scratch.is_empty() {
             return p;
+        }
+        for sf in scratch {
+            if !sf.draw.is_empty() {
+                let mass: Ratio = sf.draw.iter().map(|(_, r)| r).sum();
+                assert!(
+                    mass == Ratio::one(),
+                    "draw for {} has mass {mass}, expected 1",
+                    sf.field
+                );
+            }
         }
         let mut inner = self.inner.lock();
         let mut memo = FxHashMap::default();
-        inner.forget(p, fields, &mut memo)
+        inner.eliminate(p, scratch, &mut memo)
     }
 
     /// Snapshot of every operation cache's hit/miss/entry counters.
@@ -558,7 +774,7 @@ impl Inner {
         }
         let id = Fdd(self.nodes.len() as u32);
         self.nodes.push(node);
-        self.consed.insert(node, id);
+        self.consed.insert(node, id, usize::MAX);
         id
     }
 
@@ -567,6 +783,7 @@ impl Inner {
             return id;
         }
         let id = DistId(self.dists.len() as u32);
+        self.dist_entries += dist.support_size();
         let arc = Arc::new(dist);
         self.dists.push(arc.clone());
         self.dist_ids.insert(arc, id);
@@ -657,7 +874,8 @@ impl Inner {
         let da = self.dists[key.0 .0 as usize].clone();
         let db = self.dists[key.1 .0 as usize].clone();
         let out = self.intern_dist(da.sum(&db));
-        self.dist_sum_cache.insert(key, out);
+        let cap = self.cache_capacity;
+        self.dist_sum_cache.insert(key, out, cap);
         out
     }
 
@@ -669,7 +887,8 @@ impl Inner {
         }
         let d = self.dists[did.0 as usize].clone();
         let out = self.intern_dist(d.scale(r));
-        self.dist_scale_cache.insert(key, out);
+        let cap = self.cache_capacity;
+        self.dist_scale_cache.insert(key, out, cap);
         out
     }
 
@@ -683,14 +902,25 @@ impl Inner {
         let mods = self.actions[aid.0 as usize].clone();
         let d = self.dists[did.0 as usize].clone();
         let out = self.intern_dist(d.map_actions(|a| mods.then(a)));
-        self.dist_then_cache.insert(key, out);
+        let cap = self.cache_capacity;
+        self.dist_then_cache.insert(key, out, cap);
         out
     }
 
-    /// See [`Manager::forget`]. The memo is per-call: the result depends
-    /// on the forgotten field set, which is not worth keying a persistent
-    /// cache on (the operation runs once per compiled model).
-    fn forget(&mut self, p: Fdd, fields: &[Field], memo: &mut FxHashMap<Fdd, Fdd>) -> Fdd {
+    /// See [`Manager::eliminate`]. The memo is per-call: the result
+    /// depends on the scratch set and its draws, which is not worth
+    /// keying a persistent cache on (the operation runs a handful of
+    /// times per compiled model). Memoising by node id alone is sound
+    /// because the convex-sum semantics is context-free: a test chain's
+    /// weights are the *unconditional* entry probabilities, and mid-chain
+    /// nodes are folded by the chain walk, never looked up through the
+    /// memo under a `f ≠ v` assumption.
+    fn eliminate(
+        &mut self,
+        p: Fdd,
+        scratch: &[ScratchField],
+        memo: &mut FxHashMap<Fdd, Fdd>,
+    ) -> Fdd {
         if let Some(&hit) = memo.get(&p) {
             return hit;
         }
@@ -702,7 +932,7 @@ impl Inner {
                     Action::Mods(mods) => Action::Mods(
                         mods.iter()
                             .copied()
-                            .filter(|(f, _)| !fields.contains(f))
+                            .filter(|(f, _)| scratch.iter().all(|s| s.field != *f))
                             .collect(),
                     ),
                 });
@@ -713,15 +943,58 @@ impl Inner {
                 value,
                 hi,
                 lo,
-            } => {
-                assert!(
-                    !fields.contains(&field),
-                    "cannot forget field {field}: the diagram tests it"
-                );
-                let nh = self.forget(hi, fields, memo);
-                let nl = self.forget(lo, fields, memo);
-                self.mk_branch(field, value, nh, nl)
-            }
+            } => match scratch.iter().find(|s| s.field == field) {
+                None => {
+                    let nh = self.eliminate(hi, scratch, memo);
+                    let nl = self.eliminate(lo, scratch, memo);
+                    self.mk_branch(field, value, nh, nl)
+                }
+                Some(sf) => {
+                    assert!(
+                        !sf.draw.is_empty(),
+                        "cannot forget field {field}: the diagram tests it"
+                    );
+                    // Collect the whole `field = v` chain along the false
+                    // branches (the ordering invariant puts every test of
+                    // one field on a single lo-descent).
+                    let mut arms = vec![(value, hi)];
+                    let mut tail = lo;
+                    while let Node::Branch {
+                        field: f2,
+                        value: v2,
+                        hi: h2,
+                        lo: l2,
+                    } = self.nodes[tail.0 as usize]
+                    {
+                        if f2 != field {
+                            break;
+                        }
+                        arms.push((v2, h2));
+                        tail = l2;
+                    }
+                    // Σ_v P(f=v)·elim(arm_v), with the untested mass on
+                    // the fall-through branch.
+                    let mut used = Ratio::zero();
+                    let mut acc = self.leaf_zero();
+                    for (v, branch) in arms {
+                        let w = sf.prob_of(v);
+                        if w.is_zero() {
+                            continue;
+                        }
+                        used += &w;
+                        let e = self.eliminate(branch, scratch, memo);
+                        let scaled = self.scale(e, &w);
+                        acc = self.sum(acc, scaled);
+                    }
+                    let rest = Ratio::one() - used;
+                    if !rest.is_zero() {
+                        let e = self.eliminate(tail, scratch, memo);
+                        let scaled = self.scale(e, &rest);
+                        acc = self.sum(acc, scaled);
+                    }
+                    acc
+                }
+            },
         };
         memo.insert(p, result);
         result
@@ -753,7 +1026,8 @@ impl Inner {
         } else {
             self.restrict_eq(lo, f, v)
         };
-        self.restrict_eq_cache.insert(key, result);
+        let cap = self.cache_capacity;
+        self.restrict_eq_cache.insert(key, result, cap);
         result
     }
 
@@ -785,7 +1059,8 @@ impl Inner {
             let nl = self.restrict_ne(lo, f, v);
             self.mk_branch(field, value, hi, nl)
         };
-        self.restrict_ne_cache.insert(key, result);
+        let cap = self.cache_capacity;
+        self.restrict_ne_cache.insert(key, result, cap);
         result
     }
 
@@ -813,7 +1088,8 @@ impl Inner {
                 self.mk_branch(field, value, nh, nl)
             }
         };
-        self.scale_cache.insert(key, result);
+        let cap = self.cache_capacity;
+        self.scale_cache.insert(key, result, cap);
         result
     }
 
@@ -845,7 +1121,8 @@ impl Inner {
                 self.mk_branch(f, v, hi, lo)
             }
         };
-        self.sum_cache.insert(key, result);
+        let cap = self.cache_capacity;
+        self.sum_cache.insert(key, result, cap);
         result
     }
 
@@ -882,7 +1159,8 @@ impl Inner {
                 self.mk_branch(f, v, hi, lo)
             }
         };
-        self.ite_cache.insert(key, result);
+        let cap = self.cache_capacity;
+        self.ite_cache.insert(key, result, cap);
         result
     }
 
@@ -926,7 +1204,8 @@ impl Inner {
                 self.mk_branch(field, value, nh, nl)
             }
         };
-        self.prepend_cache.insert(key, result);
+        let cap = self.cache_capacity;
+        self.prepend_cache.insert(key, result, cap);
         result
     }
 
@@ -965,7 +1244,8 @@ impl Inner {
                 self.ite(test, nh, nl)
             }
         };
-        self.seq_cache.insert(key, result);
+        let cap = self.cache_capacity;
+        self.seq_cache.insert(key, result, cap);
         result
     }
 }
@@ -1203,6 +1483,115 @@ mod tests {
         let (f, _) = fields();
         let p = mgr.branch(f, 1, mgr.pass(), mgr.fail());
         let _ = mgr.forget(p, &[f]);
+    }
+
+    #[test]
+    fn eliminate_sums_out_tested_fields() {
+        let mgr = Manager::new();
+        let (f, g) = fields();
+        // if g=1 then f<-10 else f<-20, with g ~ Bernoulli(1/4 on 1).
+        let hi = mgr.leaf(ActionDist::dirac(Action::assign(f, 10)));
+        let lo = mgr.leaf(ActionDist::dirac(Action::assign(f, 20)));
+        let p = mgr.branch(g, 1, hi, lo);
+        let e = mgr.eliminate(p, &[ScratchField::bernoulli(g, Ratio::new(1, 4))]);
+        let d = mgr.eval(e, &Packet::new());
+        assert_eq!(d.prob(&Action::assign(f, 10)), Ratio::new(1, 4));
+        assert_eq!(d.prob(&Action::assign(f, 20)), Ratio::new(3, 4));
+        // The scratch field is gone entirely.
+        assert!(!mgr.domain(e).tested.contains_key(&g));
+    }
+
+    #[test]
+    fn eliminate_handles_value_chains_and_untested_mass() {
+        let mgr = Manager::new();
+        let (f, g) = fields();
+        // Chain testing g=1 and g=2; draw puts mass on 1, 2 and 3 (3 is
+        // untested, so its mass lands on the innermost false branch).
+        let a = mgr.leaf(ActionDist::dirac(Action::assign(f, 1)));
+        let b = mgr.leaf(ActionDist::dirac(Action::assign(f, 2)));
+        let c = mgr.leaf(ActionDist::dirac(Action::assign(f, 3)));
+        let chain = mgr.branch(g, 1, a, mgr.branch(g, 2, b, c));
+        let draw = vec![
+            (1, Ratio::new(1, 2)),
+            (2, Ratio::new(1, 3)),
+            (3, Ratio::new(1, 6)),
+        ];
+        let e = mgr.eliminate(chain, &[ScratchField::drawn(g, draw)]);
+        let d = mgr.eval(e, &Packet::new());
+        assert_eq!(d.prob(&Action::assign(f, 1)), Ratio::new(1, 2));
+        assert_eq!(d.prob(&Action::assign(f, 2)), Ratio::new(1, 3));
+        assert_eq!(d.prob(&Action::assign(f, 3)), Ratio::new(1, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "mass")]
+    fn eliminate_rejects_subdistribution_draws() {
+        let mgr = Manager::new();
+        let (_, g) = fields();
+        let p = mgr.branch(g, 1, mgr.pass(), mgr.fail());
+        let _ = mgr.eliminate(p, &[ScratchField::drawn(g, vec![(1, Ratio::new(1, 2))])]);
+    }
+
+    #[test]
+    fn cache_capacity_clears_on_overflow_and_reports_evictions() {
+        let mgr = Manager::with_cache_capacity(4);
+        let (f, _) = fields();
+        // Distinct restrict_eq keys overflow the 4-entry bound quickly.
+        let mut p = mgr.pass();
+        for v in (1..=12u32).rev() {
+            p = mgr.branch(f, v, mgr.fail(), p);
+        }
+        for v in 1..=12u32 {
+            let _ = mgr.restrict_eq(p, f, v);
+        }
+        let stats = mgr.op_cache_stats();
+        let re = stats.get("restrict_eq").unwrap();
+        assert!(re.evictions > 0, "expected evictions, got {re:?}");
+        assert!(re.entries <= 4, "bounded cache grew to {}", re.entries);
+        // The hash-cons identity table is exempt from the bound.
+        let cons = stats.get("cons").unwrap();
+        assert_eq!(cons.entries, mgr.node_count());
+        assert_eq!(cons.evictions, 0);
+    }
+
+    #[test]
+    fn reset_op_caches_drops_memos_but_keeps_nodes() {
+        let mgr = Manager::new();
+        let (f, g) = fields();
+        let p = mgr.branch(f, 1, mgr.pass(), mgr.fail());
+        let q = mgr.branch(g, 2, mgr.pass(), mgr.fail());
+        let pq = mgr.seq(p, q);
+        let nodes_before = mgr.node_count();
+        let entries_before = mgr.op_cache_stats().get("seq").unwrap().entries;
+        assert!(entries_before > 0);
+        mgr.reset_op_caches();
+        let stats = mgr.op_cache_stats();
+        let seq = stats.get("seq").unwrap();
+        assert_eq!(seq.entries, 0);
+        assert_eq!(seq.evictions, entries_before as u64);
+        assert_eq!(mgr.node_count(), nodes_before, "nodes survive the reset");
+        // Results stay correct (and hash-consing still dedups to the same
+        // handle) after a reset.
+        assert_eq!(mgr.seq(p, q), pq);
+    }
+
+    #[test]
+    fn peak_gauges_track_interned_sizes() {
+        let mgr = Manager::new();
+        let (f, _) = fields();
+        assert_eq!(mgr.peak_live_nodes(), 0);
+        assert_eq!(mgr.peak_dist_entries(), 0);
+        let d = ActionDist::from_pairs([
+            (Action::assign(f, 1), Ratio::new(1, 2)),
+            (Action::Drop, Ratio::new(1, 2)),
+        ]);
+        let _ = mgr.leaf(d);
+        let _ = mgr.pass();
+        assert_eq!(mgr.peak_live_nodes(), 2);
+        // 2-entry leaf + 1-entry skip leaf.
+        assert_eq!(mgr.peak_dist_entries(), 3);
+        let (_, total, _) = mgr.dist_table_stats();
+        assert_eq!(mgr.peak_dist_entries(), total);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Property tests pinning [`Manager::eliminate`] against a reference
+//! sum-out computed directly from the draw distributions.
+//!
+//! The defining semantics: `eliminate(p, scratch)` equals drawing every
+//! scratch field independently from its entry distribution, running `p`,
+//! and projecting the scratch fields out of the outputs. The reference
+//! below computes exactly that — an explicit weighted sum of
+//! `output_dist` over every scratch assignment, with scratch fields
+//! stripped from the resulting packets — for random loop-free guarded
+//! programs that *test and modify* the scratch fields freely.
+
+use mcnetkat_core::{Field, Packet, Pred, Prog};
+use mcnetkat_fdd::{Manager, OutputDist, ScratchField};
+use mcnetkat_num::Ratio;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Two ordinary fields and two scratch fields.
+fn field(ix: usize) -> Field {
+    match ix {
+        0 => Field::named("elim_a"),
+        1 => Field::named("elim_b"),
+        2 => Field::named("elim_s1"),
+        _ => Field::named("elim_s2"),
+    }
+}
+
+/// Random loop-free guarded programs over all four fields (scratch fields
+/// included, both tested and assigned).
+fn arb_prog() -> BoxedStrategy<Prog> {
+    let leaf = prop_oneof![
+        Just(Prog::skip()),
+        Just(Prog::drop()),
+        (0..4usize, 0..=2u32).prop_map(|(fi, v)| Prog::assign(field(fi), v)),
+        (0..4usize, 1..=2u32).prop_map(|(fi, v)| Prog::test(field(fi), v)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.seq(b)),
+            (inner.clone(), 1..=3i64, inner.clone()).prop_map(|(a, n, b)| Prog::choice2(
+                a,
+                Ratio::new(n, 4),
+                b
+            )),
+            ((0..4usize, 1..=2u32), inner.clone(), inner.clone())
+                .prop_map(|((fi, v), a, b)| { Prog::ite(Pred::test(field(fi), v), a, b) }),
+        ]
+    })
+}
+
+/// A random draw over the values {0, 1, 2} of a scratch field (mass 1).
+fn arb_draw() -> BoxedStrategy<Vec<(u32, Ratio)>> {
+    (0..=4i64, 0..=4i64)
+        .prop_map(|(a, b)| {
+            let (a, b) = (a.min(4), b.min(4 - a.min(4)));
+            let p0 = Ratio::new(a, 4);
+            let p1 = Ratio::new(b, 4);
+            let p2 = Ratio::one() - p0.clone() - p1.clone();
+            vec![(0u32, p0), (1u32, p1), (2u32, p2)]
+                .into_iter()
+                .filter(|(_, r)| !r.is_zero())
+                .collect()
+        })
+        .boxed()
+}
+
+/// Input packets over the non-scratch fields (scratch fields absent: the
+/// draw overrides them regardless, and `eliminate`'s result never tests
+/// them).
+fn input_packets() -> Vec<Packet> {
+    let mut out = Vec::new();
+    for av in 0..=2u32 {
+        for bv in 0..=2u32 {
+            let mut pk = Packet::new();
+            if av > 0 {
+                pk = pk.with(field(0), av);
+            }
+            if bv > 0 {
+                pk = pk.with(field(1), bv);
+            }
+            out.push(pk);
+        }
+    }
+    out
+}
+
+/// Strips the scratch fields from a delivered packet.
+fn strip(pk: &Packet) -> Packet {
+    let mut out = pk.clone();
+    out.set(field(2), 0);
+    out.set(field(3), 0);
+    out
+}
+
+/// The reference sum-out: Σ over scratch assignments of
+/// `P(assignment) · output_dist(p, pk[scratch := assignment])`, with the
+/// scratch fields projected out of every delivered packet.
+fn reference(
+    mgr: &Manager,
+    p: mcnetkat_fdd::Fdd,
+    pk: &Packet,
+    d1: &[(u32, Ratio)],
+    d2: &[(u32, Ratio)],
+) -> OutputDist {
+    let mut out: BTreeMap<Option<Packet>, Ratio> = BTreeMap::new();
+    for (v1, p1) in d1 {
+        for (v2, p2) in d2 {
+            let mut input = pk.clone();
+            input.set(field(2), *v1);
+            input.set(field(3), *v2);
+            let w = p1 * p2;
+            for (o, r) in mgr.output_dist(p, &input) {
+                let key = o.as_ref().map(strip);
+                *out.entry(key).or_insert_with(Ratio::zero) += &(&r * &w);
+            }
+        }
+    }
+    out.retain(|_, r| !r.is_zero());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `eliminate` with non-empty draws agrees with the explicit sum-out
+    /// on every input class, and its result never mentions the scratch
+    /// fields.
+    #[test]
+    fn eliminate_matches_reference_sum_out(
+        prog in arb_prog(),
+        d1 in arb_draw(),
+        d2 in arb_draw(),
+    ) {
+        let mgr = Manager::new();
+        let fdd = mgr.compile(&prog).unwrap();
+        let scratch = vec![
+            ScratchField::drawn(field(2), d1.clone()),
+            ScratchField::drawn(field(3), d2.clone()),
+        ];
+        let elim = mgr.eliminate(fdd, &scratch);
+
+        // No scratch field survives, neither in tests nor in mods.
+        let dom = mgr.domain(elim);
+        prop_assert!(!dom.tested.contains_key(&field(2)));
+        prop_assert!(!dom.tested.contains_key(&field(3)));
+
+        for pk in input_packets() {
+            let mut got: OutputDist = OutputDist::new();
+            for (o, r) in mgr.output_dist(elim, &pk) {
+                // The eliminated diagram may keep stale scratch values
+                // from the *input* packet (it neither reads nor writes
+                // them); strip for comparison just like the reference.
+                let key = o.as_ref().map(strip);
+                *got.entry(key).or_insert_with(Ratio::zero) += &r;
+            }
+            got.retain(|_, r| !r.is_zero());
+            let want = reference(&mgr, fdd, &pk, &d1, &d2);
+            prop_assert_eq!(&got, &want, "input {:?}", pk);
+        }
+    }
+
+    /// Write-only elimination (`forget`) is the special case where the
+    /// diagram never tests the scratch fields: summing out with *any*
+    /// full draw gives the same diagram as stripping the mods.
+    #[test]
+    fn forget_is_eliminate_with_unused_draw(
+        prog in arb_prog(),
+        d1 in arb_draw(),
+    ) {
+        let mgr = Manager::new();
+        let fdd = mgr.compile(&prog).unwrap();
+        let tested = mgr.domain(fdd);
+        prop_assume!(!tested.tested.contains_key(&field(2)));
+        let forgotten = mgr.forget(fdd, &[field(2)]);
+        let drawn = mgr.eliminate(fdd, &[ScratchField::drawn(field(2), d1)]);
+        prop_assert_eq!(forgotten, drawn);
+    }
+}

@@ -171,7 +171,7 @@ impl Srlg {
 
     /// The member ports this group contributes on switch `sw`, filtered to
     /// the given candidate ports (in candidate order).
-    fn ports_on(&self, sw: u32, ports: &[u32]) -> Vec<u32> {
+    pub(crate) fn ports_on(&self, sw: u32, ports: &[u32]) -> Vec<u32> {
         ports
             .iter()
             .copied()
@@ -407,6 +407,16 @@ impl FailureSpec {
     /// Number of declared shared-risk groups.
     pub fn group_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Whether the per-hop draws factor into *independent* Bernoullis —
+    /// true exactly when no failure budget couples them (`k = None`).
+    /// Factorable specs let the fused pipeline skip compiling the draw
+    /// program entirely and sum link health out of the routing diagram
+    /// with [`mcnetkat_fdd::Manager::eliminate`]; budget-bounded specs
+    /// must compile the draw (the budget guard sequences the Bernoullis).
+    pub fn is_factorable(&self) -> bool {
+        self.k.is_none()
     }
 }
 

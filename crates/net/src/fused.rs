@@ -1,0 +1,327 @@
+//! Fused per-switch compilation with eager scratch-field elimination.
+//!
+//! The legacy pipeline compiled the *whole* loop body — every switch's
+//! failure draw, routing scheme, topology step and flag erasure — into one
+//! FDD before solving the loop, so every switch's `up_i` (and `grp_j`)
+//! scratch fields were alive in the same manager simultaneously. Peak
+//! diagram size therefore scaled with the cross-product of the entire
+//! topology's per-hop randomness (~165 k live nodes and ~1.8 M leaf
+//! distribution entries on fattree(8)), even though each scratch field is
+//! born and dies within a single switch-hop.
+//!
+//! This module restructures compilation the way the paper does
+//! (conf_pldi_SmolkaKKFHK019 compiles switch-local programs first and only
+//! then assembles the global model):
+//!
+//! ```text
+//!   per switch s (scratch manager):
+//!     draw_s ; scheme_s ; topo-step_s ; bump?      — compile
+//!     eliminate up_i / grp_j                        — Manager::eliminate
+//!     export → import                               — scratch-free, tiny
+//!   main manager:
+//!     case sw=s₁ … sw=sₙ chain of imported hops     — assemble
+//!     while-solve ; ingress ; pt<-0 ; local wrappers
+//! ```
+//!
+//! Peak live nodes now scale with the *largest single switch*, not the
+//! topology. Two elimination modes:
+//!
+//! * **Factored** (`FailureSpec::is_factorable`, i.e. no failure budget):
+//!   the draw program is never compiled at all. The routing diagram tests
+//!   `up_i`/`grp_j` directly, and [`Manager::eliminate`] convex-sums each
+//!   test with the corresponding Bernoulli weight — the factored
+//!   failure-draw representation the ROADMAP called for.
+//! * **Budget-coupled** (`k = Some(_)`): the budget guard sequences the
+//!   draws, so the draw program is compiled into the hop first; the
+//!   scratch fields are then write-only and stripped by elimination.
+//!
+//! Both modes produce per-switch diagrams that mention no scratch field,
+//! so the global body, the loop solve, and the final diagram never see
+//! them — no per-hop erasure, no final [`Manager::forget`] projection.
+
+use crate::model::bump_hop_counter;
+use crate::scheme::switch_program;
+use crate::NetworkModel;
+use mcnetkat_core::{Pred, Prog};
+use mcnetkat_fdd::{CompileError, CompileOptions, Fdd, Manager, ScratchField};
+use mcnetkat_num::Ratio;
+use mcnetkat_topo::{NodeId, ShortestPaths};
+use std::collections::BTreeSet;
+
+/// Size gauges from one fused compile: how big the per-switch scratch
+/// compilations got before elimination. Together with the main manager's
+/// [`Manager::peak_live_nodes`] / [`Manager::peak_dist_entries`] this
+/// bounds the pipeline's true peak memory.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FusedStats {
+    /// Switches compiled.
+    pub switches: usize,
+    /// Largest scratch-manager node count over all switches.
+    pub max_scratch_nodes: usize,
+    /// Largest scratch-manager distribution-entry total over all switches.
+    pub max_scratch_dist_entries: usize,
+}
+
+impl FusedStats {
+    fn absorb_scratch(&mut self, scratch: &Manager) {
+        self.switches += 1;
+        self.max_scratch_nodes = self.max_scratch_nodes.max(scratch.peak_live_nodes());
+        self.max_scratch_dist_entries = self
+            .max_scratch_dist_entries
+            .max(scratch.peak_dist_entries());
+    }
+
+    /// Folds another gauge set in (sums switch counts, maxes the peaks) —
+    /// used to merge per-worker gauges in the parallel backend.
+    pub fn merge(&mut self, other: &FusedStats) {
+        self.switches += other.switches;
+        self.max_scratch_nodes = self.max_scratch_nodes.max(other.max_scratch_nodes);
+        self.max_scratch_dist_entries = self
+            .max_scratch_dist_entries
+            .max(other.max_scratch_dist_entries);
+    }
+}
+
+/// Compiles switch `s`'s fused hop — `failure draw ; scheme ; topology
+/// step ; hop bump` with every scratch field eliminated — in a fresh
+/// scratch manager, and imports the (tiny, scratch-free) result into
+/// `target`. Returns the imported diagram; `stats` records the scratch
+/// manager's peak size.
+pub(crate) fn compile_switch_hop(
+    target: &Manager,
+    model: &NetworkModel,
+    s: NodeId,
+    sp: &ShortestPaths,
+    opts: &CompileOptions,
+    stats: &mut FusedStats,
+) -> Result<Fdd, CompileError> {
+    let scratch = Manager::new();
+    let fdd = compile_hop_in(&scratch, model, s, sp, opts)?;
+    stats.absorb_scratch(&scratch);
+    Ok(target.import(&scratch.export(fdd)))
+}
+
+/// The per-switch fused hop compile, in the given manager.
+fn compile_hop_in(
+    mgr: &Manager,
+    model: &NetworkModel,
+    s: NodeId,
+    sp: &ShortestPaths,
+    opts: &CompileOptions,
+) -> Result<Fdd, CompileError> {
+    let fields = &model.fields;
+    let spec = &model.failure;
+    let prone = model.prone_ports(s);
+    let sw_val = model.topo.sw_value(s);
+
+    // The deterministic part of the hop: route, cross the link, count.
+    let mut route = switch_program(model.scheme, fields, &model.topo, sp, s, model.dst)
+        .seq(model.topology_step(s));
+    if let Some(cap) = model.hop_cap {
+        route = route.seq(bump_hop_counter(fields, cap));
+    }
+
+    let mut scratch_fields: Vec<ScratchField> = Vec::new();
+    let hop = if spec.is_factorable() {
+        // Factored mode: never compile the draw. Group flags and ungrouped
+        // `up` flags become entry draws summed out by `eliminate`; grouped
+        // `up` flags are *derived* from their group flag by a compiled
+        // prefix, which resolves every downstream test, leaving them
+        // write-only.
+        let mut prefix = Vec::new();
+        let mut grouped: BTreeSet<u32> = BTreeSet::new();
+        for (j, group) in spec.groups.iter().enumerate() {
+            let members = group.ports_on(sw_val, &prone);
+            if members.is_empty() {
+                continue;
+            }
+            let grp = fields.grp(j as u32 + 1);
+            scratch_fields.push(ScratchField::bernoulli(
+                grp,
+                Ratio::one() - group.pr.clone(),
+            ));
+            for &p in &members {
+                grouped.insert(p);
+                prefix.push(Prog::ite(
+                    Pred::test(grp, 1),
+                    Prog::assign(fields.up(p), 1),
+                    Prog::assign(fields.up(p), 0),
+                ));
+            }
+        }
+        for &p in &prone {
+            if grouped.contains(&p) {
+                scratch_fields.push(ScratchField::write_only(fields.up(p)));
+            } else {
+                scratch_fields.push(ScratchField::bernoulli(
+                    fields.up(p),
+                    Ratio::one() - spec.port_pr(p).clone(),
+                ));
+            }
+        }
+        mgr.compile_with(&Prog::seq_all(prefix).seq(route), opts)?
+    } else {
+        // Budget-coupled mode: the `fl` guard sequences the draws, so they
+        // must be compiled into the hop. Every health test downstream is
+        // then resolved by the draw's assignments, leaving the scratch
+        // fields write-only.
+        let draw = spec.hop_program(fields, sw_val, &prone);
+        for &p in &prone {
+            scratch_fields.push(ScratchField::write_only(fields.up(p)));
+        }
+        for j in 1..=spec.group_count() as u32 {
+            scratch_fields.push(ScratchField::write_only(fields.grp(j)));
+        }
+        mgr.compile_with(&draw.seq(route), opts)?
+    };
+    Ok(mgr.eliminate(hop, &scratch_fields))
+}
+
+/// Compiles the whole model through the fused pipeline, returning the
+/// diagram in `mgr` together with the scratch-size gauges.
+pub(crate) fn compile_model_fused(
+    mgr: &Manager,
+    model: &NetworkModel,
+    opts: &CompileOptions,
+) -> Result<(Fdd, FusedStats), CompileError> {
+    let sp = ShortestPaths::towards(&model.topo, model.dst);
+    let mut stats = FusedStats::default();
+    // Assemble the `sw`-case chain from already-scratch-free hops, in
+    // reverse switch order so the chain tests switches in declaration
+    // order (mirroring the legacy `Prog::case`).
+    let mut body = mgr.fail();
+    for &s in model.topo.switches().iter().rev() {
+        let hop = compile_switch_hop(mgr, model, s, &sp, opts, &mut stats)?;
+        let test = mgr.branch(
+            model.fields.sw,
+            model.topo.sw_value(s),
+            mgr.pass(),
+            mgr.fail(),
+        );
+        body = mgr.ite(test, hop, body);
+    }
+    let fdd = assemble_model(mgr, model, body, opts)?;
+    Ok((fdd, stats))
+}
+
+/// The shared sequential tail of both backends: loop solve, ingress
+/// filter, arrival-port normalisation and the local-variable wrappers,
+/// given an already-assembled loop-body diagram.
+pub(crate) fn assemble_model(
+    mgr: &Manager,
+    model: &NetworkModel,
+    body: Fdd,
+    opts: &CompileOptions,
+) -> Result<Fdd, CompileError> {
+    let guard = mgr.compile_pred(&model.guard());
+    let loop_fdd = mgr.while_loop(guard, body, opts)?;
+    let do_while = mgr.seq(body, loop_fdd);
+
+    let ingress = mgr.compile_with(&Prog::filter(model.ingress_pred()), opts)?;
+    let with_in = mgr.seq(ingress, do_while);
+    let normalise = mgr.compile_with(&Prog::assign(model.fields.pt, 0), opts)?;
+    let core = mgr.seq(with_in, normalise);
+
+    let (pre, post) = local_wrappers(model);
+    let pre_fdd = mgr.compile_with(&pre, opts)?;
+    let post_fdd = mgr.compile_with(&post, opts)?;
+    let tmp = mgr.seq(core, post_fdd);
+    Ok(mgr.seq(pre_fdd, tmp))
+}
+
+/// The local-variable wrappers of [`NetworkModel::program`] as explicit
+/// pre/post assignment sequences (enter assignments before, erasures
+/// after).
+pub(crate) fn local_wrappers(model: &NetworkModel) -> (Prog, Prog) {
+    let mut pre = Vec::new();
+    let mut post = Vec::new();
+    for i in 1..=model.topo.max_degree() as u32 {
+        pre.push(Prog::assign(model.fields.up(i), 1));
+        post.push(Prog::assign(model.fields.up(i), 0));
+    }
+    if model.failure.k.is_some() && !model.failure.is_failure_free() {
+        pre.push(Prog::assign(model.fields.fl, 0));
+        post.push(Prog::assign(model.fields.fl, 0));
+    }
+    pre.push(Prog::assign(model.fields.dt, 0));
+    post.push(Prog::assign(model.fields.dt, 0));
+    (Prog::seq_all(pre), Prog::seq_all(post))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailureModel, FailureSpec, RoutingScheme, Srlg};
+    use mcnetkat_topo::ab_fattree;
+
+    fn mk(scheme: RoutingScheme, failure: impl Into<FailureSpec>) -> NetworkModel {
+        let topo = ab_fattree(4);
+        let dst = topo.find("edge0_0").unwrap();
+        NetworkModel::new(topo, dst, scheme, failure)
+    }
+
+    #[test]
+    fn fused_matches_legacy_unbounded() {
+        let m = mk(
+            RoutingScheme::F10_3,
+            FailureModel::independent(Ratio::new(1, 10)),
+        );
+        let mgr = Manager::new();
+        let legacy = m.compile_legacy(&mgr).unwrap();
+        let fused = m.compile(&mgr).unwrap();
+        assert!(mgr.equiv(fused, legacy));
+    }
+
+    #[test]
+    fn fused_matches_legacy_bounded() {
+        let m = mk(
+            RoutingScheme::F10_3_5,
+            FailureModel::bounded(Ratio::new(1, 10), 2),
+        );
+        let mgr = Manager::new();
+        let legacy = m.compile_legacy(&mgr).unwrap();
+        let fused = m.compile(&mgr).unwrap();
+        assert!(mgr.equiv(fused, legacy));
+    }
+
+    #[test]
+    fn fused_matches_legacy_failure_free() {
+        let m = mk(RoutingScheme::Ecmp, FailureModel::none());
+        let mgr = Manager::new();
+        let legacy = m.compile_legacy(&mgr).unwrap();
+        let fused = m.compile(&mgr).unwrap();
+        assert!(mgr.equiv(fused, legacy));
+    }
+
+    #[test]
+    fn fused_matches_legacy_srlg_unbounded() {
+        let topo = ab_fattree(4);
+        let dst = topo.find("edge0_0").unwrap();
+        let pr = Ratio::new(1, 50);
+        let spec = FailureSpec::independent(Ratio::zero()).with_groups(Srlg::linecards(&topo, &pr));
+        let m = NetworkModel::new(topo, dst, RoutingScheme::F10_3, spec);
+        let mgr = Manager::new();
+        let legacy = m.compile_legacy(&mgr).unwrap();
+        let fused = m.compile(&mgr).unwrap();
+        assert!(mgr.equiv(fused, legacy));
+    }
+
+    #[test]
+    fn fused_scratch_stats_are_per_switch_sized() {
+        let m = mk(
+            RoutingScheme::Ecmp,
+            FailureModel::independent(Ratio::new(1, 1000)),
+        );
+        let mgr = Manager::new();
+        let (fdd, stats) = m
+            .compile_with_stats(&mgr, &CompileOptions::default())
+            .unwrap();
+        assert_eq!(stats.switches, m.topo.switches().len());
+        assert!(stats.max_scratch_nodes > 0);
+        // The compiled diagram mentions no scratch field.
+        let dom = mgr.domain(fdd);
+        for up in m.fields.ups() {
+            assert!(!dom.tested.contains_key(up));
+        }
+    }
+}

@@ -9,6 +9,7 @@ mod chain;
 mod example;
 mod failure;
 mod fields;
+mod fused;
 mod model;
 mod parallel;
 mod queries;
@@ -17,8 +18,9 @@ mod scheme;
 pub use chain::{chain_benchmark, chain_delivery_native, chain_expected_delivery, ChainBenchmark};
 pub use example::{running_example, RunningExample};
 pub use failure::{FailureModel, FailureSpec, Srlg};
-pub use fields::NetFields;
+pub use fields::{FieldOrder, NetFields};
+pub use fused::FusedStats;
 pub use model::{teleport, NetworkModel};
-pub use parallel::compile_model_parallel;
+pub use parallel::{compile_model_parallel, compile_model_parallel_with_stats};
 pub use queries::{HopStats, Queries};
 pub use scheme::{down_ports, RoutingScheme};

@@ -11,6 +11,7 @@
 //! failure model is memoryless, exactly as in the paper where `f` runs at
 //! every hop).
 
+use crate::fused::{compile_model_fused, FusedStats};
 use crate::scheme::{down_ports, switch_program};
 use crate::{FailureSpec, NetFields, RoutingScheme};
 use mcnetkat_core::{Pred, Prog};
@@ -53,10 +54,41 @@ impl NetworkModel {
         failure: impl Into<FailureSpec>,
     ) -> NetworkModel {
         let failure = failure.into();
+        let fields = NetFields::with_groups(topo.max_degree(), failure.group_count());
+        NetworkModel::new_with_fields(topo, dst, fields, scheme, failure)
+    }
+
+    /// Builds a model over explicitly provided field handles — the hook
+    /// for sweeping [`crate::FieldOrder`] policies (each policy interns
+    /// its fields in its own order, possibly namespaced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`FailureSpec::validate`], or if `fields`
+    /// declares fewer `up`/`grp` handles than the topology and spec need.
+    pub fn new_with_fields(
+        topo: Topology,
+        dst: NodeId,
+        fields: NetFields,
+        scheme: RoutingScheme,
+        failure: impl Into<FailureSpec>,
+    ) -> NetworkModel {
+        let failure = failure.into();
         if let Err(e) = failure.validate(&topo) {
             panic!("invalid failure spec: {e}");
         }
-        let fields = NetFields::with_groups(topo.max_degree(), failure.group_count());
+        assert!(
+            fields.ups().len() >= topo.max_degree(),
+            "fields declare {} up flags, topology needs {}",
+            fields.ups().len(),
+            topo.max_degree()
+        );
+        assert!(
+            fields.grps().len() >= failure.group_count(),
+            "fields declare {} group flags, spec needs {}",
+            fields.grps().len(),
+            failure.group_count()
+        );
         NetworkModel {
             topo,
             dst,
@@ -157,17 +189,42 @@ impl NetworkModel {
                 }
                 let here = Pred::test(self.fields.sw, self.topo.sw_value(s))
                     .and(Pred::test(self.fields.pt, pp.port));
-                let mv = Prog::assign(self.fields.sw, self.topo.sw_value(pp.peer))
-                    .seq(Prog::assign(self.fields.pt, pp.peer_port));
-                let step = if prone.contains(&pp.port) && !self.failure.is_failure_free() {
-                    Prog::ite(Pred::test(self.fields.up(pp.port), 1), mv, Prog::drop())
-                } else {
-                    mv
-                };
-                branches.push((here, step));
+                branches.push((here, self.link_step(pp, &prone)));
             }
         }
         Prog::case(branches, Prog::drop())
+    }
+
+    /// The topology step restricted to switch `s` — the `sw = s` slice of
+    /// [`NetworkModel::topology_program`], dispatching on `pt` only. The
+    /// fused per-switch pipeline composes this with `s`'s routing program,
+    /// where `sw = s` is established by the surrounding case chain.
+    pub fn topology_step(&self, s: NodeId) -> Prog {
+        let prone = self.prone_ports(s);
+        let mut branches = Vec::new();
+        for pp in self.topo.ports(s) {
+            if self.topo.info(pp.peer).level == Level::Host {
+                continue;
+            }
+            branches.push((
+                Pred::test(self.fields.pt, pp.port),
+                self.link_step(pp, &prone),
+            ));
+        }
+        Prog::case(branches, Prog::drop())
+    }
+
+    /// One link crossing: move across `pp` to the peer, guarded by the
+    /// link's health flag when the link can fail (`prone` is the owning
+    /// switch's failure-prone port set, hoisted by the caller).
+    fn link_step(&self, pp: &mcnetkat_topo::PortPeer, prone: &[u32]) -> Prog {
+        let mv = Prog::assign(self.fields.sw, self.topo.sw_value(pp.peer))
+            .seq(Prog::assign(self.fields.pt, pp.peer_port));
+        if prone.contains(&pp.port) && !self.failure.is_failure_free() {
+            Prog::ite(Pred::test(self.fields.up(pp.port), 1), mv, Prog::drop())
+        } else {
+            mv
+        }
     }
 
     /// One loop iteration: `f ; p ; t̂` plus hop counting and per-hop flag
@@ -211,29 +268,76 @@ impl NetworkModel {
         inner
     }
 
-    /// Compiles the model to its big-step FDD.
+    /// Compiles the model to its big-step FDD through the fused
+    /// per-switch pipeline: each switch's hop program (`failure draw ;
+    /// scheme ; topology step ; hop bump`) is compiled in its own scratch
+    /// manager, its `up_i`/`grp_j` scratch fields are eliminated
+    /// immediately ([`Manager::eliminate`]), and only then is the global
+    /// `sw`-case chain assembled — so peak diagram size scales with the
+    /// largest single switch, not the whole topology. The result mentions
+    /// no scratch field, and a spec whose groups are all singletons
+    /// yields a diagram equivalent to the plain independent model's.
     ///
-    /// Shared-risk group fields are pure scratch state — drawn, consumed
-    /// and erased within each hop — so they are projected out of the
-    /// compiled diagram ([`Manager::forget`]): the result mentions no
-    /// `grp_j` field, and a spec whose groups are all singletons yields a
-    /// diagram equivalent to the plain independent model's.
+    /// The legacy whole-body path survives as
+    /// [`NetworkModel::compile_legacy`] (the two are pinned equivalent by
+    /// differential tests).
     ///
     /// # Errors
     ///
     /// Propagates [`CompileError`] from the FDD backend.
     pub fn compile(&self, mgr: &Manager) -> Result<Fdd, CompileError> {
-        let fdd = mgr.compile(&self.program())?;
-        Ok(mgr.forget(fdd, self.fields.grps()))
+        self.compile_with(mgr, &CompileOptions::default())
     }
 
-    /// Compiles with explicit options (group scratch fields projected out
-    /// as in [`NetworkModel::compile`]).
+    /// Compiles with explicit options (fused pipeline, see
+    /// [`NetworkModel::compile`]).
     ///
     /// # Errors
     ///
     /// Propagates [`CompileError`] from the FDD backend.
     pub fn compile_with(&self, mgr: &Manager, opts: &CompileOptions) -> Result<Fdd, CompileError> {
+        Ok(compile_model_fused(mgr, self, opts)?.0)
+    }
+
+    /// Compiles with explicit options and returns the fused pipeline's
+    /// scratch-size gauges alongside the diagram (see [`FusedStats`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the FDD backend.
+    pub fn compile_with_stats(
+        &self,
+        mgr: &Manager,
+        opts: &CompileOptions,
+    ) -> Result<(Fdd, FusedStats), CompileError> {
+        compile_model_fused(mgr, self, opts)
+    }
+
+    /// The legacy whole-body compile: builds the complete program AST
+    /// (every switch's scratch fields alive simultaneously), compiles it
+    /// in `mgr`, and projects the group scratch fields out with
+    /// [`Manager::forget`]. Kept as the differential-testing oracle for
+    /// the fused pipeline; prefer [`NetworkModel::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the FDD backend.
+    pub fn compile_legacy(&self, mgr: &Manager) -> Result<Fdd, CompileError> {
+        let fdd = mgr.compile(&self.program())?;
+        Ok(mgr.forget(fdd, self.fields.grps()))
+    }
+
+    /// The legacy whole-body compile with explicit options (see
+    /// [`NetworkModel::compile_legacy`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the FDD backend.
+    pub fn compile_legacy_with(
+        &self,
+        mgr: &Manager,
+        opts: &CompileOptions,
+    ) -> Result<Fdd, CompileError> {
         let fdd = mgr.compile_with(&self.program(), opts)?;
         Ok(mgr.forget(fdd, self.fields.grps()))
     }
@@ -247,8 +351,8 @@ impl NetworkModel {
     }
 }
 
-/// `fl <- min(fl + 1, cap)` over the hop-counter field.
-fn bump_hop_counter(fields: &NetFields, cap: u32) -> Prog {
+/// `cnt <- min(cnt + 1, cap)` over the hop-counter field.
+pub(crate) fn bump_hop_counter(fields: &NetFields, cap: u32) -> Prog {
     let mut prog = Prog::skip(); // at the cap: saturate
     for v in (0..cap).rev() {
         prog = Prog::ite(

@@ -1,32 +1,36 @@
 //! The parallelising backend of §6 ("Parallel speedup"): per-switch
-//! policies are compiled on worker threads — each with a private FDD
+//! *fused hops* are compiled on worker threads — each with a private FDD
 //! manager, mirroring the paper's per-process workers — and merged
 //! map/tree-reduce style into the main manager.
 //!
 //! # Pipeline
 //!
 //! 1. **Map.** The switch set is split into contiguous chunks, one per
-//!    worker. Each worker compiles its per-switch programs in a private
-//!    manager *and* folds them into a partial `case` chain locally:
-//!    `if sw=s₁ then p₁ else if sw=s₂ then p₂ … else drop`, together with
-//!    the matching guard `sw∈{s₁,…}`. Guard and chain leave the worker as
-//!    one multi-root [`FddExport`] with a shared node table.
+//!    worker. Each worker compiles its switches' fused hop diagrams
+//!    (`draw ; scheme ; topology step ; bump`, scratch fields eliminated
+//!    per switch — see `net::fused`) and folds them into a partial `case`
+//!    chain locally: `if sw=s₁ then h₁ else if sw=s₂ then h₂ … else
+//!    drop`, together with the matching guard `sw∈{s₁,…}`. Guard and
+//!    chain leave the worker as one multi-root [`FddExport`] with a
+//!    shared node table. Because the hops are already scratch-free, the
+//!    exports carry no `up_i`/`grp_j` state.
 //! 2. **Tree-reduce.** Partial chains are merged pairwise in parallel
 //!    rounds, each merge in a fresh scratch manager:
 //!    `merge(A, B) = if guard_A then chain_A else chain_B` (sound because
 //!    chunk switch sets are disjoint). After ⌈log₂ workers⌉ rounds a
 //!    single export remains.
 //! 3. **Import + sequential tail.** The main manager performs *one*
-//!    import of the fully merged policy — instead of the seed's
-//!    O(switches) imports and `ite` folds — then compiles the cheap
-//!    remainder (topology, loop, wrappers). The `while` solve goes
-//!    through [`Manager::while_loop`], so repeated loops across models
-//!    sharing a manager hit the loop-solution cache.
+//!    import of the fully merged loop body (the topology step now rides
+//!    inside each hop), then runs the same tail as the sequential fused
+//!    pipeline (`fused::assemble_model`): loop solve, ingress,
+//!    normalisation, local wrappers. The `while` solve goes through
+//!    [`Manager::while_loop`], so repeated loops across models sharing a
+//!    manager hit the loop-solution cache.
 
+use crate::fused::{assemble_model, compile_switch_hop, FusedStats};
 use crate::NetworkModel;
-use mcnetkat_core::Prog;
 use mcnetkat_fdd::{CompileError, CompileOptions, Fdd, FddExport, Manager};
-use mcnetkat_topo::ShortestPaths;
+use mcnetkat_topo::{NodeId, ShortestPaths};
 
 /// Compiles `model` using `workers` threads for the per-switch policies.
 ///
@@ -44,36 +48,50 @@ pub fn compile_model_parallel(
     workers: usize,
     opts: &CompileOptions,
 ) -> Result<Fdd, CompileError> {
+    Ok(compile_model_parallel_with_stats(mgr, model, workers, opts)?.0)
+}
+
+/// [`compile_model_parallel`] plus the fused pipeline's scratch-size
+/// gauges, merged over every worker (`switches` sums, peaks max).
+///
+/// # Errors
+///
+/// Propagates the first [`CompileError`] raised by any worker.
+pub fn compile_model_parallel_with_stats(
+    mgr: &Manager,
+    model: &NetworkModel,
+    workers: usize,
+    opts: &CompileOptions,
+) -> Result<(Fdd, FusedStats), CompileError> {
     let workers = workers.max(1);
     let sp = ShortestPaths::towards(&model.topo, model.dst);
-    let switch_progs: Vec<(u32, Prog)> = model
-        .topo
-        .switches()
-        .iter()
-        .map(|&s| (model.topo.sw_value(s), model.switch_policy(s, &sp)))
-        .collect();
+    let switches: Vec<NodeId> = model.topo.switches().to_vec();
 
-    // Map: each worker compiles its chunk and builds the partial `case`
-    // chain (and its guard) inside a private manager.
-    let chunk = switch_progs.len().div_ceil(workers).max(1);
+    // Map: each worker compiles its chunk's fused hops and builds the
+    // partial `case` chain (and its guard) inside a private manager.
+    let chunk = switches.len().div_ceil(workers).max(1);
     let mut parts: Vec<FddExport> = Vec::with_capacity(workers);
+    let mut stats = FusedStats::default();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for work in switch_progs.chunks(chunk) {
-            handles.push(scope.spawn(move || compile_chunk(model, work, opts)));
+        for work in switches.chunks(chunk) {
+            let sp = &sp;
+            handles.push(scope.spawn(move || compile_chunk(model, work, sp, opts)));
         }
         for handle in handles {
-            parts.push(handle.join().expect("worker panicked")?);
+            let (part, worker_stats) = handle.join().expect("worker panicked")?;
+            parts.push(part);
+            stats.merge(&worker_stats);
         }
         Ok::<(), CompileError>(())
     })?;
 
     // Tree-reduce: merge the partial chains pairwise in parallel rounds
     // until at most two remain; the last merge runs in the main manager
-    // directly, saving a scratch-manager round trip of the full policy.
+    // directly, saving a scratch-manager round trip of the full body.
     let parts = tree_reduce(parts);
-    let policy = match parts.as_slice() {
-        [] => mgr.fail(), // no switches: the policy drops everything
+    let body = match parts.as_slice() {
+        [] => mgr.fail(), // no switches: the body drops everything
         [only] => mgr.import_all(only)[1],
         [a, b] => {
             let ra = mgr.import_all(a);
@@ -83,54 +101,40 @@ pub fn compile_model_parallel(
         _ => unreachable!("tree_reduce leaves at most two parts"),
     };
 
-    // Sequential tail: topology, counter, erasure, loop, wrappers. These
-    // are cheap compared to the per-switch map phase.
-    let topo_fdd = mgr.compile_with(&model.topology_program(), opts)?;
-    let mut body = mgr.seq(policy, topo_fdd);
-    // Hop counting + flag erasure (mirrors `NetworkModel::body`).
-    let remainder = body_remainder(model);
-    let rem_fdd = mgr.compile_with(&remainder, opts)?;
-    body = mgr.seq(body, rem_fdd);
-
-    let guard = mgr.compile_pred(&model.guard());
-    let loop_fdd = mgr.while_loop(guard, body, opts)?;
-    let do_while = mgr.seq(body, loop_fdd);
-
-    let ingress = mgr.compile_with(&Prog::filter(model.ingress_pred()), opts)?;
-    let with_in = mgr.seq(ingress, do_while);
-    let normalise = mgr.compile_with(&Prog::assign(model.fields.pt, 0), opts)?;
-    let core = mgr.seq(with_in, normalise);
-
-    // Local-variable wrappers (enter assignments before, erasures after).
-    let (pre, post) = local_wrappers(model);
-    let pre_fdd = mgr.compile_with(&pre, opts)?;
-    let post_fdd = mgr.compile_with(&post, opts)?;
-    let tmp = mgr.seq(core, post_fdd);
-    let full = mgr.seq(pre_fdd, tmp);
-    // Project the shared-risk-group scratch fields out, mirroring
-    // `NetworkModel::compile` (no-op for specs without groups).
-    Ok(mgr.forget(full, model.fields.grps()))
+    // Sequential tail, shared with the fused sequential pipeline: loop
+    // solve, ingress, normalisation, local wrappers. The hops already
+    // carry the topology step and hop bump, and their scratch fields were
+    // eliminated inside the workers — no erasure or projection remains.
+    Ok((assemble_model(mgr, model, body, opts)?, stats))
 }
 
-/// Compiles one worker's chunk of per-switch programs and folds them into
-/// a partial `case` chain in a private manager. Returns a two-root export:
-/// `[guard, chain]` where `guard` tests `sw ∈ chunk` and `chain` behaves
-/// like the switch policy on matching packets and drops everything else.
+/// Compiles one worker's chunk of fused per-switch hops and folds them
+/// into a partial `case` chain in a private manager. Returns a two-root
+/// export — `[guard, chain]` where `guard` tests `sw ∈ chunk` and `chain`
+/// behaves like the fused hop on matching packets and drops everything
+/// else — together with the worker's scratch-size gauges.
 fn compile_chunk(
     model: &NetworkModel,
-    work: &[(u32, Prog)],
+    work: &[NodeId],
+    sp: &ShortestPaths,
     opts: &CompileOptions,
-) -> Result<FddExport, CompileError> {
+) -> Result<(FddExport, FusedStats), CompileError> {
     let local = Manager::new();
+    let mut stats = FusedStats::default();
     let mut chain = local.fail();
     let mut guard = local.fail();
-    for (sw, prog) in work.iter().rev() {
-        let branch = local.compile_with(prog, opts)?;
-        let test = local.branch(model.fields.sw, *sw, local.pass(), local.fail());
+    for &s in work.iter().rev() {
+        let branch = compile_switch_hop(&local, model, s, sp, opts, &mut stats)?;
+        let test = local.branch(
+            model.fields.sw,
+            model.topo.sw_value(s),
+            local.pass(),
+            local.fail(),
+        );
         chain = local.ite(test, branch, chain);
         guard = local.ite(test, local.pass(), guard);
     }
-    Ok(local.export_all(&[guard, chain]))
+    Ok((local.export_all(&[guard, chain]), stats))
 }
 
 /// Merges partial `[guard, chain]` exports pairwise in parallel rounds
@@ -172,47 +176,6 @@ fn merge_pair(a: &FddExport, b: &FddExport) -> FddExport {
     let guard = scratch.ite(guard_a, scratch.pass(), guard_b);
     let chain = scratch.ite(guard_a, chain_a, chain_b);
     scratch.export_all(&[guard, chain])
-}
-
-/// The part of the loop body that follows `p ; t̂`: hop counting and flag
-/// erasure (mirrors [`NetworkModel::body`]).
-fn body_remainder(model: &NetworkModel) -> Prog {
-    use mcnetkat_core::Pred;
-    let mut prog = Prog::skip();
-    if let Some(cap) = model.hop_cap {
-        let mut bump = Prog::skip();
-        for v in (0..cap).rev() {
-            bump = Prog::ite(
-                Pred::test(model.fields.cnt, v),
-                Prog::assign(model.fields.cnt, v + 1),
-                bump,
-            );
-        }
-        prog = prog.seq(bump);
-    }
-    prog.seq(
-        model
-            .failure
-            .erase_program(&model.fields, &model.drawn_ports()),
-    )
-}
-
-/// The local-variable wrappers of [`NetworkModel::program`] as explicit
-/// pre/post assignment sequences.
-fn local_wrappers(model: &NetworkModel) -> (Prog, Prog) {
-    let mut pre = Vec::new();
-    let mut post = Vec::new();
-    for i in 1..=model.topo.max_degree() as u32 {
-        pre.push(Prog::assign(model.fields.up(i), 1));
-        post.push(Prog::assign(model.fields.up(i), 0));
-    }
-    if model.failure.k.is_some() && !model.failure.is_failure_free() {
-        pre.push(Prog::assign(model.fields.fl, 0));
-        post.push(Prog::assign(model.fields.fl, 0));
-    }
-    pre.push(Prog::assign(model.fields.dt, 0));
-    post.push(Prog::assign(model.fields.dt, 0));
-    (Prog::seq_all(pre), Prog::seq_all(post))
 }
 
 #[cfg(test)]
@@ -310,6 +273,17 @@ mod tests {
                 "workers = {workers}: {par_err}"
             );
         }
+    }
+
+    #[test]
+    fn parallel_stats_cover_every_switch() {
+        let m = model();
+        let mgr = Manager::new();
+        let (fdd, stats) =
+            compile_model_parallel_with_stats(&mgr, &m, 3, &Default::default()).unwrap();
+        assert_eq!(stats.switches, m.topo.switches().len());
+        assert!(stats.max_scratch_nodes > 0);
+        assert!(mgr.equiv(fdd, m.compile(&mgr).unwrap()));
     }
 
     #[test]

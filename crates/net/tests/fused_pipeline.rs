@@ -1,0 +1,268 @@
+//! Differential tests pinning the fused per-switch pipeline against the
+//! legacy whole-body compile path.
+//!
+//! The fused pipeline (`NetworkModel::compile`) compiles each switch's
+//! hop in a scratch manager, eliminates the `up_i`/`grp_j` scratch fields
+//! eagerly, and assembles the global model from scratch-free diagrams.
+//! The legacy path (`NetworkModel::compile_legacy`) builds the whole body
+//! FDD first. These tests pin the two `equiv` (and `refines` both ways)
+//! on the §2 running example's hop, fattree(4)/(6), all-singleton and
+//! correlated SRLG specs, and randomised guarded specs — for both the
+//! sequential and parallel backends, bounded and unbounded.
+
+use mcnetkat_fdd::{Manager, ScratchField};
+use mcnetkat_net::{
+    compile_model_parallel, running_example, FailureModel, FailureSpec, NetworkModel,
+    RoutingScheme, Srlg,
+};
+use mcnetkat_num::Ratio;
+use mcnetkat_topo::{ab_fattree, fattree, Topology};
+
+/// Pins fused ≡ legacy (and ≤ both ways) for one model, sequentially and
+/// through the parallel backend.
+fn assert_fused_matches_legacy(model: &NetworkModel, workers: &[usize]) {
+    let mgr = Manager::new();
+    let legacy = model.compile_legacy(&mgr).unwrap();
+    let fused = model.compile(&mgr).unwrap();
+    assert!(mgr.equiv(fused, legacy), "sequential fused ≢ legacy");
+    assert!(
+        mgr.less_eq(fused, legacy) && mgr.less_eq(legacy, fused),
+        "refinement must hold both ways"
+    );
+    for &w in workers {
+        let par = compile_model_parallel(&mgr, model, w, &Default::default()).unwrap();
+        assert!(mgr.equiv(par, legacy), "parallel({w}) fused ≢ legacy");
+    }
+}
+
+/// The §2 running example's fragile hop: compiling the routing program
+/// *without* the draw and eliminating `up2`/`up3` with the `f2` weights
+/// must equal compiling the full `f2 ; p̂ ; t̂` hop — the factored draw
+/// representation behind the fused pipeline, pinned on the paper's own
+/// example.
+#[test]
+fn sec2_example_hop_eliminates_to_the_drawn_hop() {
+    let ex = running_example();
+    let pr = Ratio::new(1, 5); // f2: both links fail with probability 1/5
+    let mgr = Manager::new();
+    let hop = ex.resilient.clone().seq(ex.topology.clone());
+    let drawn = mgr.compile(&ex.f2.clone().seq(hop.clone())).unwrap();
+    let drawn = mgr.forget(drawn, &[ex.fields.up(1), ex.fields.up(2), ex.fields.up(3)]);
+    let routed = mgr.compile(&hop).unwrap();
+    let eliminated = mgr.eliminate(
+        routed,
+        &[
+            ScratchField::bernoulli(ex.fields.up(2), Ratio::one() - pr.clone()),
+            ScratchField::bernoulli(ex.fields.up(3), Ratio::one() - pr.clone()),
+            ScratchField::write_only(ex.fields.up(1)),
+        ],
+    );
+    assert!(mgr.equiv(eliminated, drawn));
+    assert!(mgr.less_eq(eliminated, drawn) && mgr.less_eq(drawn, eliminated));
+}
+
+#[test]
+fn fattree4_all_schemes_unbounded() {
+    let topo = ab_fattree(4);
+    let dst = topo.find("edge0_0").unwrap();
+    for scheme in [
+        RoutingScheme::Ecmp,
+        RoutingScheme::F10_3,
+        RoutingScheme::F10_3_5,
+    ] {
+        let m = NetworkModel::new(
+            topo.clone(),
+            dst,
+            scheme,
+            FailureModel::independent(Ratio::new(1, 10)),
+        );
+        assert_fused_matches_legacy(&m, &[3]);
+    }
+}
+
+#[test]
+fn fattree4_bounded_budgets() {
+    let topo = ab_fattree(4);
+    let dst = topo.find("edge0_0").unwrap();
+    for k in [0u32, 1, 2] {
+        let m = NetworkModel::new(
+            topo.clone(),
+            dst,
+            RoutingScheme::F10_3,
+            FailureModel::bounded(Ratio::new(1, 10), k),
+        );
+        assert_fused_matches_legacy(&m, &[2]);
+    }
+}
+
+#[test]
+fn fattree4_heterogeneous_link_probabilities() {
+    let topo = ab_fattree(4);
+    let dst = topo.find("edge0_0").unwrap();
+    let spec = FailureSpec::independent(Ratio::new(1, 100))
+        .with_link_pr(1, Ratio::new(1, 2))
+        .with_link_pr(2, Ratio::zero());
+    let m = NetworkModel::new(topo, dst, RoutingScheme::F10_3, spec);
+    assert_fused_matches_legacy(&m, &[3]);
+}
+
+#[test]
+fn fattree6_ecmp_unbounded() {
+    let topo = fattree(6);
+    let dst = topo.find("edge0_0").unwrap();
+    let m = NetworkModel::new(
+        topo,
+        dst,
+        RoutingScheme::Ecmp,
+        FailureModel::independent(Ratio::new(1, 1000)),
+    );
+    assert_fused_matches_legacy(&m, &[4]);
+}
+
+#[test]
+fn fattree4_hop_capped_model() {
+    let topo = ab_fattree(4);
+    let dst = topo.find("edge0_0").unwrap();
+    let m = NetworkModel::new(
+        topo,
+        dst,
+        RoutingScheme::Ecmp,
+        FailureModel::independent(Ratio::new(1, 10)),
+    )
+    .with_hop_cap(6);
+    assert_fused_matches_legacy(&m, &[2]);
+}
+
+/// All-singleton SRLG specs: fused ≡ legacy *and* both ≡ the plain
+/// independent model (the semantic anchor from PR 4), unbounded and
+/// bounded.
+#[test]
+fn srlg_singletons_match_independent_through_both_pipelines() {
+    let topo = ab_fattree(4);
+    let dst = topo.find("edge0_0").unwrap();
+    let pr = Ratio::new(1, 20);
+    for k in [None, Some(1)] {
+        let base = match k {
+            Some(k) => FailureSpec::bounded(pr.clone(), k),
+            None => FailureSpec::independent(pr.clone()),
+        };
+        let spec = base.with_groups(Srlg::singletons(&topo, &pr));
+        let m = NetworkModel::new(topo.clone(), dst, RoutingScheme::F10_3, spec);
+        assert_fused_matches_legacy(&m, &[3]);
+        let indep = match k {
+            Some(k) => FailureModel::bounded(pr.clone(), k),
+            None => FailureModel::independent(pr.clone()),
+        };
+        let mi = NetworkModel::new(topo.clone(), dst, RoutingScheme::F10_3, indep);
+        let mgr = Manager::new();
+        let grouped = m.compile(&mgr).unwrap();
+        let plain = mi.compile(&mgr).unwrap();
+        assert!(mgr.equiv(grouped, plain), "k = {k:?}");
+    }
+}
+
+/// Correlated line-card groups (members genuinely fail together).
+#[test]
+fn srlg_linecards_match_legacy_through_both_pipelines() {
+    let topo = ab_fattree(4);
+    let dst = topo.find("edge0_0").unwrap();
+    let pr = Ratio::new(1, 20);
+    for k in [None, Some(1)] {
+        let base = match k {
+            Some(k) => FailureSpec::bounded(Ratio::zero(), k),
+            None => FailureSpec::independent(Ratio::zero()),
+        };
+        let spec = base.with_groups(Srlg::linecards(&topo, &pr));
+        let m = NetworkModel::new(topo.clone(), dst, RoutingScheme::F10_3_5, spec);
+        assert_fused_matches_legacy(&m, &[2]);
+    }
+}
+
+/// Randomised guarded specs: a small deterministic sweep over failure
+/// probability, budget, scheme and singleton-group presence (pseudo-random
+/// in spirit, exhaustive in practice — every combination is checked).
+#[test]
+fn randomised_spec_sweep_matches_legacy() {
+    let topo = ab_fattree(4);
+    let dst = topo.find("edge0_0").unwrap();
+    let prs = [Ratio::new(1, 4), Ratio::new(1, 16)];
+    let ks = [None, Some(1)];
+    let schemes = [RoutingScheme::Ecmp, RoutingScheme::F10_3_5];
+    for pr in &prs {
+        for &k in &ks {
+            for &scheme in &schemes {
+                for grouped in [false, true] {
+                    let base = match k {
+                        Some(k) => FailureSpec::bounded(pr.clone(), k),
+                        None => FailureSpec::independent(pr.clone()),
+                    };
+                    let spec = if grouped {
+                        FailureSpec {
+                            pr: Ratio::zero(),
+                            ..base
+                        }
+                        .with_groups(Srlg::linecards(&topo, pr))
+                    } else {
+                        base
+                    };
+                    let m = NetworkModel::new(topo.clone(), dst, scheme, spec);
+                    let mgr = Manager::new();
+                    let legacy = m.compile_legacy(&mgr).unwrap();
+                    let fused = m.compile(&mgr).unwrap();
+                    assert!(
+                        mgr.equiv(fused, legacy),
+                        "pr={pr} k={k:?} scheme={scheme:?} grouped={grouped}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The scale the fused pipeline unlocks: fattree(10) compiles in well
+/// under a second even in debug builds — this is the CI smoke gate that
+/// keeps p ≥ 10 green.
+#[test]
+fn fattree10_smoke_compile() {
+    let topo = fattree(10);
+    let dst = topo.find("edge0_0").unwrap();
+    let m = NetworkModel::new(topo, dst, RoutingScheme::Ecmp, FailureModel::none());
+    let mgr = Manager::new();
+    let fdd = m.compile(&mgr).unwrap();
+    let tele = mgr.compile(&m.teleport()).unwrap();
+    assert!(
+        mgr.equiv(fdd, tele),
+        "failure-free ECMP delivers everything"
+    );
+}
+
+/// Sanity check that the §2-style delivery numbers survive the pipeline
+/// swap on a real fattree: fused and legacy agree on the actual query
+/// output, not just on `equiv`.
+fn delivery(topo: Topology, scheme: RoutingScheme) -> (Ratio, Ratio) {
+    let dst = topo.find("edge0_0").unwrap();
+    let m = NetworkModel::new(
+        topo,
+        dst,
+        scheme,
+        FailureModel::independent(Ratio::new(1, 4)),
+    );
+    let mgr = Manager::new();
+    let fused = m.compile(&mgr).unwrap();
+    let legacy = m.compile_legacy(&mgr).unwrap();
+    let src = m.topo.find("edge1_0").unwrap();
+    let pk = mcnetkat_core::Packet::new().with(m.fields.sw, m.topo.sw_value(src));
+    (
+        mgr.prob_delivery(fused, &pk),
+        mgr.prob_delivery(legacy, &pk),
+    )
+}
+
+#[test]
+fn delivery_probabilities_agree_exactly() {
+    for scheme in [RoutingScheme::Ecmp, RoutingScheme::F10_3] {
+        let (fused, legacy) = delivery(ab_fattree(4), scheme);
+        assert_eq!(fused, legacy, "{scheme:?}");
+        assert!(fused > Ratio::zero() && fused < Ratio::one());
+    }
+}

@@ -13,5 +13,5 @@ pub use abfattree::ab_fattree;
 pub use chain::chain;
 pub use dot::{parse_dot, to_dot, DotError};
 pub use fattree::fattree;
-pub use graph::{Level, NodeId, NodeInfo, PodType, Topology};
+pub use graph::{Level, NodeId, NodeInfo, PodType, PortPeer, Topology};
 pub use paths::ShortestPaths;
