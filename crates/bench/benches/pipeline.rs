@@ -46,6 +46,25 @@ fn bench_fattree_compile(c: &mut Criterion) {
             })
         });
     }
+    // The scale unlocked by the sparse SCC solve with symmetry lumping:
+    // p = 16 *with* failures, whose loop chain (thousands of transient
+    // states) the dense while-loop solve could not touch.
+    {
+        let topo = fattree(16);
+        let dst = topo.find("edge0_0").unwrap();
+        let model = NetworkModel::new(
+            topo,
+            dst,
+            RoutingScheme::Ecmp,
+            FailureModel::independent(Ratio::new(1, 1000)),
+        );
+        group.bench_with_input(BenchmarkId::new("f1000", 16usize), &model, |b, model| {
+            b.iter(|| {
+                let mgr = Manager::new();
+                model.compile(&mgr).unwrap()
+            })
+        });
+    }
     group.finish();
 }
 
@@ -56,7 +75,9 @@ fn bench_fattree_compile(c: &mut Criterion) {
 fn bench_fattree_srlg(c: &mut Criterion) {
     let mut group = c.benchmark_group("fattree_srlg");
     group.sample_size(10);
-    for p in [4usize, 6] {
+    // p = 12 rides on the sparse SCC loop solve — with the dense solve it
+    // was out of benchmarking range entirely.
+    for p in [4usize, 6, 12] {
         let topo = fattree(p);
         let dst = topo.find("edge0_0").unwrap();
         let pr = Ratio::new(1, 1000);
@@ -125,6 +146,12 @@ fn bench_solver_backends(c: &mut Criterion) {
         chain.add(s, back, Ratio::new(9, 20));
         chain.add(s, n, Ratio::new(1, 10));
     }
+    // `SparseScc` is deliberately absent: it solves in exact rational
+    // arithmetic, and this chain is a single 400-state SCC — the one shape
+    // where exact elimination is hopeless (seconds, not microseconds; the
+    // entries grow into huge rationals). Its regime — many small SCCs
+    // and lumped symmetric blocks — is what `loop_solving/sparse_scc` and
+    // the `fattree_compile` benchmarks measure.
     for backend in [
         SolverBackend::SparseLu,
         SolverBackend::GaussSeidel,
@@ -137,13 +164,19 @@ fn bench_solver_backends(c: &mut Criterion) {
     group.finish();
 }
 
-/// Ablation: exact rational vs float loop solving inside the compiler.
+/// Ablation: exact rational vs float loop solving inside the compiler,
+/// plus the structured sparse solve that replaced both as the default.
+/// The float/exact arms pin `SparseLu` explicitly — the default backend
+/// is now `SparseScc`, which is exact at every size and ignores
+/// `exact_threshold`, so without the pin both arms would measure the
+/// same thing.
 fn bench_exact_vs_float_loops(c: &mut Criterion) {
     let mut group = c.benchmark_group("loop_solving");
     group.sample_size(10);
     let bench = chain_benchmark(3, Ratio::new(1, 100));
     for (label, exact_threshold) in [("float", 0usize), ("exact", 10_000)] {
         let opts = CompileOptions {
+            backend: SolverBackend::SparseLu,
             exact_threshold,
             ..CompileOptions::default()
         };
@@ -154,6 +187,13 @@ fn bench_exact_vs_float_loops(c: &mut Criterion) {
             })
         });
     }
+    group.bench_function("sparse_scc", |b| {
+        b.iter(|| {
+            let mgr = Manager::new();
+            mgr.compile_with(&bench.program, &CompileOptions::default())
+                .unwrap()
+        })
+    });
     group.finish();
 }
 

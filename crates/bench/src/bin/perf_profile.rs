@@ -62,6 +62,7 @@ fn main() {
     ]);
     let mut rates: Vec<(String, f64)> = Vec::new();
     let mut cache_rows: Vec<(String, Vec<String>)> = Vec::new();
+    let mut solve_rows: Vec<Vec<String>> = Vec::new();
     for &p in ps {
         let model = model_for(p);
         let opts = CompileOptions::default();
@@ -100,6 +101,26 @@ fn main() {
             fstats.max_scratch_nodes.to_string(),
         ]);
 
+        // Loop-solver gauges: how much of the while-loop chains the
+        // symmetry quotient and SCC condensation actually removed.
+        let ls = mgr.loop_solve_stats();
+        solve_rows.push(vec![
+            format!("fattree({p})"),
+            ls.solves.to_string(),
+            ls.transient_states.to_string(),
+            ls.lumped_blocks.to_string(),
+            ls.sccs.to_string(),
+            ls.max_transient.to_string(),
+            if ls.transient_states > 0 {
+                format!(
+                    "{:.1}×",
+                    ls.transient_states as f64 / (ls.lumped_blocks.max(1)) as f64
+                )
+            } else {
+                "—".into()
+            },
+        ]);
+
         for c in mgr.op_cache_stats().caches {
             if c.lookups() == 0 {
                 continue;
@@ -118,6 +139,21 @@ fn main() {
         }
     }
     stages.print();
+
+    println!("\nloop-solver gauges (sparse SCC solve with symmetry lumping)");
+    let mut solves = Table::new(&[
+        "topology",
+        "solves",
+        "transient",
+        "lumped blocks",
+        "SCCs",
+        "max transient",
+        "collapse",
+    ]);
+    for row in solve_rows {
+        solves.row(row);
+    }
+    solves.print();
 
     println!("\nop-cache hit rates (cold fused full-model compile)");
     let mut caches = Table::new(&["topology", "cache", "hits", "misses", "entries", "hit rate"]);

@@ -9,23 +9,33 @@ use std::fmt;
 /// Options controlling compilation.
 #[derive(Clone, Debug)]
 pub struct CompileOptions {
-    /// Linear-solver backend used for `while` loops.
+    /// Linear-solver backend used for `while` loops. The default,
+    /// [`SolverBackend::SparseScc`], solves exactly over the transient
+    /// SCC DAG; the float backends exist for cross-validation and for
+    /// chains whose structure defeats the sparse path.
     pub backend: SolverBackend,
     /// Upper bound on the symbolic state space explored per loop.
     pub state_limit: usize,
-    /// Loops whose transient state count is at most this bound are solved
-    /// with *exact* rational elimination instead of the float backend, so
-    /// that downstream equivalence checks are exact. Set to 0 to always use
-    /// the float backend.
+    /// For *float* backends only: loops whose transient state count is at
+    /// most this bound are solved with exact rational elimination instead,
+    /// so that downstream equivalence checks are exact. Set to 0 to always
+    /// use the float backend. [`SolverBackend::SparseScc`] is exact at
+    /// every size and ignores this bound.
     pub exact_threshold: usize,
+    /// For [`SolverBackend::SparseScc`]: quotient the chain by its
+    /// coarsest exact ordinary lumping before solving, collapsing
+    /// symmetric states (isomorphic fat-tree pods) to one representative.
+    /// Exact — never changes the result, only the work.
+    pub lumping: bool,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
         CompileOptions {
-            backend: SolverBackend::SparseLu,
+            backend: SolverBackend::SparseScc,
             state_limit: 4_000_000,
             exact_threshold: 512,
+            lumping: true,
         }
     }
 }
@@ -33,16 +43,21 @@ impl Default for CompileOptions {
 /// The slice of [`CompileOptions`] that can change a `while` loop's
 /// compiled diagram — the key of the manager's loop-solution cache.
 ///
-/// All three fields matter: `state_limit` decides whether a loop compiles
-/// at all, and `backend`/`exact_threshold` select the solver arithmetic,
-/// which changes the (float-path) leaf probabilities. Leaving any of them
-/// out would let a solution computed under one configuration answer a
-/// query made under another.
+/// Every solver-configuration field must appear here: `state_limit`
+/// decides whether a loop compiles at all, `backend`/`exact_threshold`
+/// select the solver arithmetic (which changes float-path leaf
+/// probabilities), and `lumping` selects the quotienting strategy.
+/// Lumping is semantically invisible, but keying on it anyway keeps the
+/// rule auditable — *any* field that steers the solve is part of the key —
+/// so a future inexact quotient can't silently share cache entries with
+/// the unquotiented path. Leaving a field out would let a solution
+/// computed under one configuration answer a query made under another.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub(crate) struct OptsKey {
     backend: SolverBackend,
     state_limit: usize,
     exact_threshold: usize,
+    lumping: bool,
 }
 
 impl From<&CompileOptions> for OptsKey {
@@ -51,6 +66,7 @@ impl From<&CompileOptions> for OptsKey {
             backend: opts.backend,
             state_limit: opts.state_limit,
             exact_threshold: opts.exact_threshold,
+            lumping: opts.lumping,
         }
     }
 }
@@ -320,6 +336,57 @@ mod tests {
         let s3 = mgr.while_cache_stats();
         assert_eq!((s3.hits, s3.misses), (1, 2));
         assert_eq!(s3.entries, 2);
+    }
+
+    #[test]
+    fn while_cache_keys_on_solver_configuration() {
+        // Regression: the cache key must cover every solver-configuration
+        // field. A solution computed under one backend / lumping setting
+        // must never answer a query made under another — each distinct
+        // configuration is its own miss and its own entry.
+        let mgr = Manager::new();
+        let f = Field::named("cmp_wk");
+        let body = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 3), Prog::skip());
+        let prog = Prog::while_(Pred::test(f, 0), body);
+        let configs = [
+            CompileOptions::default(), // SparseScc, lumping on
+            CompileOptions {
+                lumping: false,
+                ..CompileOptions::default()
+            },
+            CompileOptions {
+                backend: SolverBackend::SparseLu,
+                ..CompileOptions::default()
+            },
+            CompileOptions {
+                backend: SolverBackend::GaussSeidel,
+                ..CompileOptions::default()
+            },
+        ];
+        let mut results = Vec::new();
+        for (i, opts) in configs.iter().enumerate() {
+            results.push(mgr.compile_with(&prog, opts).unwrap());
+            let s = mgr.while_cache_stats();
+            assert_eq!(
+                (s.hits, s.misses, s.entries),
+                (0, i as u64 + 1, i + 1),
+                "config {i} must miss and add an entry, not hit a stale one"
+            );
+        }
+        // The exact paths agree on the diagram (hash-consing makes that
+        // pointer equality); the point above is that they got there via
+        // separate solves, not a cross-configuration cache hit.
+        assert_eq!(results[0], results[1]);
+        // Re-compiling each configuration now hits its own entry.
+        for (i, opts) in configs.iter().enumerate() {
+            let again = mgr.compile_with(&prog, opts).unwrap();
+            assert_eq!(again, results[i]);
+        }
+        let s = mgr.while_cache_stats();
+        assert_eq!(
+            (s.hits, s.misses),
+            (configs.len() as u64, configs.len() as u64)
+        );
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub use action::{Action, ActionDist};
 pub use compile::{CompileError, CompileOptions};
 pub use export::FddExport;
 pub(crate) use manager::Node;
-pub use manager::{Fdd, Manager, OpCacheEntry, OpCacheStats, ScratchField, WhileCacheStats};
+pub use manager::{
+    Fdd, LoopSolveStats, Manager, OpCacheEntry, OpCacheStats, ScratchField, WhileCacheStats,
+};
 pub use matrix::BigStepMatrix;
 pub use query::{OutputDist, SymOutputDist};
 pub use sympkt::{step, Domain, SymPkt};

@@ -16,7 +16,7 @@
 
 use crate::{Action, ActionDist, CompileError, CompileOptions, Fdd, Manager, SymPkt};
 use mcnetkat_core::{Field, Value};
-use mcnetkat_linalg::AbsorbingChain;
+use mcnetkat_linalg::{AbsorbingChain, SolverBackend};
 use mcnetkat_num::Ratio;
 use std::collections::HashMap;
 
@@ -80,8 +80,11 @@ pub fn compile_while(
     for class in &input_classes {
         intern(class.clone(), &mut states, &mut worklist)?;
     }
-    // transitions[s] = (absorbing?, [(target, prob)])
-    let mut rows: HashMap<usize, Vec<(usize, Ratio)>> = HashMap::new();
+    // rows[s]: sparse transition list of transient state s (empty for
+    // absorbing states). Indexed by state id for deterministic iteration —
+    // the chain, and hence the solver's pivoting order, must not depend on
+    // hash iteration order.
+    let mut rows: Vec<Vec<(usize, Ratio)>> = Vec::new();
     let mut absorbing: Vec<usize> = vec![DROP_STATE];
     while let Some(ix) = worklist.pop() {
         let pk = states[ix - 1].clone();
@@ -102,9 +105,13 @@ pub fn compile_while(
             };
             row.push((target, r.clone()));
         }
-        rows.insert(ix, row);
+        if rows.len() <= ix {
+            rows.resize(ix + 1, Vec::new());
+        }
+        rows[ix] = row;
     }
     let n = states.len() + 1;
+    rows.resize(n, Vec::new());
 
     // 3. Drop states that cannot reach an absorbing state: they represent
     //    sure non-termination, which the semantics equates with drop.
@@ -114,7 +121,7 @@ pub fn compile_while(
     }
     // Backward reachability via reverse adjacency.
     let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (&s, row) in &rows {
+    for (s, row) in rows.iter().enumerate() {
         for (t, _) in row {
             rev[*t].push(s);
         }
@@ -146,8 +153,7 @@ pub fn compile_while(
             chain.add(s, DROP_STATE, Ratio::one());
             continue;
         }
-        let row = rows.get(&s).expect("transient state without a row");
-        for (t, r) in row {
+        for (t, r) in &rows[s] {
             let target = if reaches[*t] { *t } else { DROP_STATE };
             chain.add(s, target, r.clone());
         }
@@ -172,19 +178,42 @@ pub fn compile_while(
     }
     let nt = n - absorbing_ids.len();
 
-    // Absorption probabilities as exact rationals: small chains are solved
-    // exactly; larger ones go through the float backend and get snapped
-    // (the paper likewise trusts the 64-bit-float solver).
-    let absorption: Vec<Vec<Ratio>> = if nt <= opts.exact_threshold {
-        chain.solve_exact()?
+    // Absorption probabilities as *sparse* exact rows, `(absorbing rank,
+    // probability)` with zero entries never materialised. The SparseScc
+    // backend is exact at every size (SCC-decomposed back-substitution
+    // over rationals), so it neither consults `exact_threshold` nor snaps.
+    // The float backends keep the old ladder: small chains re-solved
+    // exactly, larger ones solved in floats and snapped (the paper
+    // likewise trusts the 64-bit-float solver).
+    let absorption: Vec<Vec<(usize, Ratio)>> = if opts.backend == SolverBackend::SparseScc {
+        let sol = chain.solve_sparse_scc(opts.lumping)?;
+        mgr.record_loop_solve(nt, sol.lumped_blocks(), sol.scc_count());
+        (0..nt).map(|t| sol.sparse_row(t).to_vec()).collect()
+    } else if nt <= opts.exact_threshold {
+        mgr.record_loop_solve(nt, nt, 0);
+        chain
+            .solve_exact()?
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .enumerate()
+                    .filter(|(_, p)| !p.is_zero())
+                    .collect()
+            })
+            .collect()
     } else {
+        mgr.record_loop_solve(nt, nt, 0);
         let solution = chain.solve(opts.backend)?;
         (0..n)
             .filter(|&s| !chain.is_absorbing(s))
             .map(|s| {
                 absorbing_ids
                     .iter()
-                    .map(|&a| snap_probability(solution.prob(s, a)))
+                    .enumerate()
+                    .filter_map(|(a_rank, &a)| {
+                        let p = snap_probability(solution.prob(s, a));
+                        (!p.is_zero()).then_some((a_rank, p))
+                    })
                     .collect()
             })
             .collect()
@@ -205,11 +234,11 @@ pub fn compile_while(
             let mut d = ActionDist::zero();
             let mut total = Ratio::zero();
             let row = &absorption[transient_rank[ix]];
-            for (a_rank, pr) in row.iter().enumerate() {
+            for (a_rank, pr) in row {
                 if pr.is_zero() || pr.is_negative() {
                     continue;
                 }
-                let a = absorbing_ids[a_rank];
+                let a = absorbing_ids[*a_rank];
                 let action = if a == DROP_STATE {
                     Action::Drop
                 } else {

@@ -156,11 +156,14 @@ struct Inner {
     dist_scale_cache: Cache<(DistId, Ratio), DistId>,
     dist_then_cache: Cache<(ActId, DistId), DistId>,
     // Memoised `while`-loop solutions (see `Manager::while_loop`). The key
-    // must include every option that can change the result: `state_limit`
-    // bounds which loops solve at all, and `backend`/`exact_threshold`
-    // select the arithmetic, so the same (guard, body) can legitimately
-    // yield different diagrams under different options.
+    // must include every solver-configuration option: `state_limit` bounds
+    // which loops solve at all, `backend`/`exact_threshold` select the
+    // arithmetic, and `lumping` selects the quotienting strategy, so the
+    // same (guard, body) can legitimately yield different diagrams under
+    // different options. See `OptsKey` for the full rule.
     while_cache: Cache<(Fdd, Fdd, OptsKey), Fdd>,
+    /// Cumulative absorbing-chain solve gauges (see `LoopSolveStats`).
+    loop_stats: LoopSolveStats,
 }
 
 impl Default for Inner {
@@ -188,8 +191,30 @@ impl Default for Inner {
             dist_scale_cache: Cache::default(),
             dist_then_cache: Cache::default(),
             while_cache: Cache::default(),
+            loop_stats: LoopSolveStats::default(),
         }
     }
+}
+
+/// Cumulative gauges over every absorbing-chain solve this manager ran
+/// (cache hits don't count — they skip the solve).
+///
+/// `lumped_blocks < transient_states` measures how much symmetry lumping
+/// collapsed the chains; `sccs` counts components of the condensed
+/// transient graphs (only the `SparseScc` backend reports blocks/SCCs —
+/// other backends count each transient state as its own block).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoopSolveStats {
+    /// Absorbing chains actually solved.
+    pub solves: u64,
+    /// Total transient states across all solves.
+    pub transient_states: u64,
+    /// Total states after symmetry lumping.
+    pub lumped_blocks: u64,
+    /// Total SCCs of the (quotiented) transient graphs.
+    pub sccs: u64,
+    /// Largest single chain solved (transient states).
+    pub max_transient: usize,
 }
 
 /// A scratch field to existentially eliminate from a diagram, together
@@ -666,6 +691,22 @@ impl Manager {
             misses: inner.while_cache.misses,
             entries: inner.while_cache.map.len(),
         }
+    }
+
+    /// Cumulative absorbing-chain solve gauges (see [`LoopSolveStats`]).
+    pub fn loop_solve_stats(&self) -> LoopSolveStats {
+        self.inner.lock().loop_stats
+    }
+
+    /// Accumulates one absorbing-chain solve into [`LoopSolveStats`].
+    pub(crate) fn record_loop_solve(&self, transient: usize, blocks: usize, sccs: usize) {
+        let mut inner = self.inner.lock();
+        let s = &mut inner.loop_stats;
+        s.solves += 1;
+        s.transient_states += transient as u64;
+        s.lumped_blocks += blocks as u64;
+        s.sccs += sccs as u64;
+        s.max_transient = s.max_transient.max(transient);
     }
 
     /// Projects write-only scratch fields out of a diagram: every

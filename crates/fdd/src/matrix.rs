@@ -81,11 +81,14 @@ impl BigStepMatrix {
             .unwrap_or_else(Ratio::zero)
     }
 
+    /// Total probability mass of row `i`.
+    pub fn row_mass(&self, i: usize) -> Ratio {
+        self.rows[i].iter().map(|(_, r)| r.clone()).sum()
+    }
+
     /// Checks row-stochasticity (every row sums to exactly 1).
     pub fn is_stochastic(&self) -> bool {
-        self.rows
-            .iter()
-            .all(|row| row.iter().map(|(_, r)| r.clone()).sum::<Ratio>() == Ratio::one())
+        (0..self.nrows()).all(|i| self.row_mass(i) == Ratio::one())
     }
 
     /// The density `nnz / (rows × cols)` — the compression the FDD
@@ -170,6 +173,33 @@ mod tests {
         assert_eq!(m.nrows(), 1);
         assert!(m.is_stochastic());
         assert_eq!(m.get(0, 1), Ratio::one());
+    }
+
+    #[test]
+    fn loop_solutions_are_exact_through_the_matrix_view() {
+        // while f=0 do (f←1 ⊕⅓ f←2 ⊕⅙ skip): absorption probabilities
+        // are 2/3 and 1/3 — not representable in binary floats. The
+        // default (SparseScc) solve must surface them *exactly*; a float
+        // backend snapped through `Ratio::from_f64` cannot.
+        let f = field("mx_lp");
+        let mgr = Manager::new();
+        let body = Prog::choice(vec![
+            (Prog::assign(f, 1), Ratio::new(1, 3)),
+            (Prog::assign(f, 2), Ratio::new(1, 6)),
+            (Prog::skip(), Ratio::new(1, 2)),
+        ]);
+        let prog = Prog::while_(Pred::test(f, 0), body);
+        let fdd = mgr.compile(&prog).unwrap();
+        let m = mgr.to_matrix(fdd);
+        assert!(m.is_stochastic());
+        let row0 = m
+            .inputs
+            .iter()
+            .position(|c| c.get(f) == Some(0))
+            .expect("f=0 input class");
+        let mut probs: Vec<Ratio> = m.rows[row0].iter().map(|(_, r)| r.clone()).collect();
+        probs.sort();
+        assert_eq!(probs, vec![Ratio::new(1, 3), Ratio::new(2, 3)]);
     }
 
     #[test]

@@ -14,14 +14,23 @@
 //! (large, very sparse chains), a dense float LU, or *exact* rational
 //! elimination (validation).
 
+use crate::lump::{refine, Partition};
+use crate::scc::condense;
 use crate::{gauss_seidel, jacobi, DenseMatrix, IterativeOptions, LinalgError, SparseLu, Triplets};
 use mcnetkat_num::Ratio;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Which linear-solver backend computes `(I − Q)^{-1} R`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum SolverBackend {
-    /// Sparse left-looking LU (the UMFPACK-replacement production path).
+    /// Sparse SCC-decomposed *exact* solve (the production path): the
+    /// transient subgraph is condensed into its SCC DAG and absorption
+    /// probabilities are back-propagated per component in reverse
+    /// topological order, over exact rationals, never materialising a
+    /// zero entry. See [`AbsorbingChain::solve_sparse_scc`].
     #[default]
+    SparseScc,
+    /// Sparse left-looking LU (the float UMFPACK-replacement path).
     SparseLu,
     /// Gauss–Seidel sweeps; good for huge, very sparse chains.
     GaussSeidel,
@@ -143,6 +152,11 @@ impl AbsorbingChain {
     /// means some transient state cannot reach any absorbing state (the
     /// chain is not actually absorbing).
     pub fn solve(&self, backend: SolverBackend) -> Result<AbsorptionResult, LinalgError> {
+        if backend == SolverBackend::SparseScc {
+            // The structured exact path; rounded to floats only here, at
+            // the shared result type.
+            return Ok(self.solve_sparse_scc(false)?.to_result());
+        }
         let (transient_ix, absorbing_ix, transients, absorbing_states) = self.partition();
         let nt = transients.len();
         let na = absorbing_states.len();
@@ -159,6 +173,7 @@ impl AbsorbingChain {
         }
         let qm = q.to_csr();
         let probs = match backend {
+            SolverBackend::SparseScc => unreachable!("handled above"),
             SolverBackend::SparseLu => {
                 // Factor (I - Q) once; back-solve one column of R at a time.
                 let mut iq = Triplets::new(nt, nt);
@@ -245,6 +260,137 @@ impl AbsorbingChain {
             .collect())
     }
 
+    /// Computes the absorption probabilities **exactly and sparsely**: the
+    /// transient subgraph is condensed into its SCC DAG
+    /// ([`crate::scc::condense`]) and solved one component at a time in
+    /// reverse topological order — every transition out of a component
+    /// lands in an already-solved component or an absorbing state, so each
+    /// block is an independent small exact elimination (most components of
+    /// routing chains are singletons, which reduce to a single division).
+    /// Zero entries are never materialised: rows are sparse maps from
+    /// reachable absorbing states only.
+    ///
+    /// With `lumping` set, the chain is first quotiented by its coarsest
+    /// ordinary lumping ([`crate::lump::refine`], absorbing states kept as
+    /// external symbols): states with symmetric futures — isomorphic
+    /// fat-tree pods — collapse to one representative before any linear
+    /// algebra runs, and the solved rows are shared back to all members.
+    /// Lumping is exact, so the result is identical either way.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Singular`] when some component has no outflow at all
+    /// (its states are trapped and the chain is not absorbing); the same
+    /// condition [`AbsorbingChain::solve_exact`] reports, detected
+    /// per-component instead of at a global pivot.
+    pub fn solve_sparse_scc(&self, lumping: bool) -> Result<SparseAbsorption, LinalgError> {
+        self.solve_sparse_scc_seeded(lumping, None)
+    }
+
+    /// [`AbsorbingChain::solve_sparse_scc`] with an explicit lumping seed
+    /// partition over the *transient ranks* (states in chain order, minus
+    /// the absorbing ones). The seed is refined to stability, so any seed
+    /// yields exactly the same probabilities — a finer seed only reduces
+    /// how much the chain collapses. `None` seeds the trivial partition
+    /// (maximal lumping).
+    ///
+    /// # Errors
+    ///
+    /// See [`AbsorbingChain::solve_sparse_scc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed is provided whose length is not the number of
+    /// transient states.
+    pub fn solve_sparse_scc_seeded(
+        &self,
+        lumping: bool,
+        seed: Option<&Partition>,
+    ) -> Result<SparseAbsorption, LinalgError> {
+        let (transient_ix, absorbing_ix, transients, absorbing_states) = self.partition();
+        let nt = transients.len();
+        // Sparse exact rows over compact ids: targets < nt are transient
+        // ranks, nt + a is absorbing rank a (an "external symbol" to the
+        // lumping — absorbing states are never merged).
+        let mut rows: Vec<Vec<(usize, Ratio)>> = vec![Vec::new(); nt];
+        for (from, to, p) in &self.transitions {
+            let t = transient_ix[*from];
+            let target = if self.absorbing[*to] {
+                nt + absorbing_ix[*to]
+            } else {
+                transient_ix[*to]
+            };
+            rows[t].push((target, p.clone()));
+        }
+        for row in &mut rows {
+            merge_row(row);
+        }
+
+        // Optional symmetry quotient.
+        let part = if lumping {
+            match seed {
+                Some(s) => refine(&rows, s),
+                None => refine(&rows, &Partition::trivial(nt)),
+            }
+        } else {
+            Partition::discrete(nt)
+        };
+        let nb = part.num_blocks;
+        let mut rep = vec![usize::MAX; nb];
+        for t in (0..nt).rev() {
+            rep[part.block_of[t]] = t;
+        }
+        let qrows: Vec<Vec<(usize, Ratio)>> = (0..nb)
+            .map(|b| {
+                let mut row: Vec<(usize, Ratio)> = rows[rep[b]]
+                    .iter()
+                    .map(|(t, p)| {
+                        let target = if *t < nt {
+                            part.block_of[*t]
+                        } else {
+                            nb + (*t - nt)
+                        };
+                        (target, p.clone())
+                    })
+                    .collect();
+                merge_row(&mut row);
+                row
+            })
+            .collect();
+
+        // Condense the (quotient) transient graph and solve per component
+        // in emission order — reverse topological, so every external
+        // transient target is already solved.
+        let succ: Vec<Vec<usize>> = qrows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .filter(|(t, _)| *t < nb)
+                    .map(|(t, _)| *t)
+                    .collect()
+            })
+            .collect();
+        let cond = condense(nb, &succ);
+        let mut solved: Vec<Option<Vec<(usize, Ratio)>>> = vec![None; nb];
+        for comp in &cond.components {
+            solve_component(comp, &qrows, nb, &mut solved)?;
+        }
+
+        // Share each block's row back to all members.
+        let rows = (0..nt)
+            .map(|t| solved[part.block_of[t]].clone().expect("component solved"))
+            .collect();
+        Ok(SparseAbsorption {
+            n: self.n,
+            transient_ix,
+            absorbing_ix,
+            absorbing_states,
+            rows,
+            lumped_blocks: nb,
+            scc_count: cond.len(),
+        })
+    }
+
     fn partition(&self) -> (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>) {
         let mut transient_ix = vec![usize::MAX; self.n];
         let mut absorbing_ix = vec![usize::MAX; self.n];
@@ -268,6 +414,225 @@ fn transpose(cols: Vec<Vec<f64>>, nt: usize) -> Vec<Vec<f64>> {
     (0..nt)
         .map(|t| (0..na).map(|a| cols[a][t]).collect())
         .collect()
+}
+
+/// Sorts a sparse row by target, sums duplicate targets, drops zeros.
+fn merge_row(row: &mut Vec<(usize, Ratio)>) {
+    row.sort_unstable_by_key(|(t, _)| *t);
+    let mut out: Vec<(usize, Ratio)> = Vec::with_capacity(row.len());
+    for (t, p) in row.drain(..) {
+        match out.last_mut() {
+            Some((pt, pp)) if *pt == t => *pp += &p,
+            _ => out.push((t, p)),
+        }
+    }
+    out.retain(|(_, p)| !p.is_zero());
+    *row = out;
+}
+
+/// Solves one SCC of the (quotient) transient graph, writing each member's
+/// sparse absorption row into `solved`. `comp`'s external transient
+/// successors are already solved (reverse topological processing order);
+/// targets `>= nb` in `qrows` are absorbing ranks.
+fn solve_component(
+    comp: &[usize],
+    qrows: &[Vec<(usize, Ratio)>],
+    nb: usize,
+    solved: &mut [Option<Vec<(usize, Ratio)>>],
+) -> Result<(), LinalgError> {
+    if let [s] = comp {
+        // Singleton (the overwhelmingly common case on routing chains —
+        // shortest-path forwarding is a DAG): fold already-solved
+        // successors and absorbing hits into one sparse row, then divide
+        // out the self-loop mass.
+        let s = *s;
+        let mut selfp = Ratio::zero();
+        let mut base: BTreeMap<usize, Ratio> = BTreeMap::new();
+        for (t, p) in &qrows[s] {
+            if *t == s {
+                selfp += p;
+            } else if *t >= nb {
+                *base.entry(*t - nb).or_insert_with(Ratio::zero) += p;
+            } else {
+                let srow = solved[*t].as_ref().expect("successor SCC solved first");
+                for (a, q) in srow {
+                    *base.entry(*a).or_insert_with(Ratio::zero) += &(p * q);
+                }
+            }
+        }
+        let keep = &Ratio::one() - &selfp;
+        if keep.is_zero() {
+            // All mass stays put forever: (I − Q) has a zero row, exactly
+            // the Singular case the dense elimination reports.
+            return Err(LinalgError::Singular(s));
+        }
+        let inv = keep.recip();
+        solved[s] = Some(
+            base.into_iter()
+                .map(|(a, p)| (a, &p * &inv))
+                .filter(|(_, p)| !p.is_zero())
+                .collect(),
+        );
+        return Ok(());
+    }
+
+    // A genuine cycle cluster: solve (I − Q_C) X = B_C exactly, with
+    // columns only for the absorbing states the component actually
+    // reaches.
+    let k = comp.len();
+    let pos: HashMap<usize, usize> = comp.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let mut a = DenseMatrix::<Ratio>::identity(k);
+    let mut bases: Vec<BTreeMap<usize, Ratio>> = vec![BTreeMap::new(); k];
+    for (li, &s) in comp.iter().enumerate() {
+        for (t, p) in &qrows[s] {
+            if *t >= nb {
+                *bases[li].entry(*t - nb).or_insert_with(Ratio::zero) += p;
+            } else if let Some(&lj) = pos.get(t) {
+                let cur = a.get(li, lj).clone();
+                a.set(li, lj, &cur - p);
+            } else {
+                let srow = solved[*t].as_ref().expect("successor SCC solved first");
+                for (aix, q) in srow {
+                    *bases[li].entry(*aix).or_insert_with(Ratio::zero) += &(p * q);
+                }
+            }
+        }
+    }
+    let cols: Vec<usize> = bases
+        .iter()
+        .flat_map(|b| b.keys().copied())
+        .collect::<BTreeSet<usize>>()
+        .into_iter()
+        .collect();
+    if cols.is_empty() {
+        // The component reaches nothing outside itself: trapped, singular.
+        return Err(LinalgError::Singular(comp[0]));
+    }
+    let col_ix: HashMap<usize, usize> = cols.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let mut rhs = DenseMatrix::<Ratio>::zeros(k, cols.len());
+    for (li, base) in bases.iter().enumerate() {
+        for (aix, p) in base {
+            rhs.set(li, col_ix[aix], p.clone());
+        }
+    }
+    let x = a.solve_multi(&rhs)?;
+    for (li, &s) in comp.iter().enumerate() {
+        solved[s] = Some(
+            cols.iter()
+                .enumerate()
+                .filter_map(|(ci, &aix)| {
+                    let p = x.get(li, ci);
+                    (!p.is_zero()).then(|| (aix, p.clone()))
+                })
+                .collect(),
+        );
+    }
+    Ok(())
+}
+
+/// Exact, sparse absorption probabilities from
+/// [`AbsorbingChain::solve_sparse_scc`]: each transient state's row holds
+/// only the absorbing states it actually reaches, as exact rationals.
+#[derive(Clone, Debug)]
+pub struct SparseAbsorption {
+    n: usize,
+    transient_ix: Vec<usize>,
+    absorbing_ix: Vec<usize>,
+    absorbing_states: Vec<usize>,
+    /// `rows[t]`: sorted `(absorbing rank, probability)` pairs, zero
+    /// entries omitted.
+    rows: Vec<Vec<(usize, Ratio)>>,
+    lumped_blocks: usize,
+    scc_count: usize,
+}
+
+impl SparseAbsorption {
+    /// Exact probability that `from` (original id) absorbs in `to`
+    /// (original id). For an absorbing `from`, 1 iff `from == to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not absorbing or ids are out of range.
+    pub fn prob(&self, from: usize, to: usize) -> Ratio {
+        assert!(from < self.n && to < self.n, "state out of range");
+        let a = self.absorbing_ix[to];
+        assert!(a != usize::MAX, "target state {to} is not absorbing");
+        if self.transient_ix[from] == usize::MAX {
+            return if from == to {
+                Ratio::one()
+            } else {
+                Ratio::zero()
+            };
+        }
+        self.rows[self.transient_ix[from]]
+            .iter()
+            .find_map(|(ra, p)| (*ra == a).then(|| p.clone()))
+            .unwrap_or_else(Ratio::zero)
+    }
+
+    /// The sparse row of transient rank `t` as `(absorbing rank, prob)`.
+    pub fn sparse_row(&self, t: usize) -> &[(usize, Ratio)] {
+        &self.rows[t]
+    }
+
+    /// The absorbing states (original ids) in rank order.
+    pub fn absorbing_states(&self) -> &[usize] {
+        &self.absorbing_states
+    }
+
+    /// Number of transient rows.
+    pub fn num_transient(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Stored non-zero entries across all rows.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Blocks after symmetry lumping (equals the transient count when
+    /// lumping was off or found no symmetry).
+    pub fn lumped_blocks(&self) -> usize {
+        self.lumped_blocks
+    }
+
+    /// Components of the (quotiented) transient SCC DAG.
+    pub fn scc_count(&self) -> usize {
+        self.scc_count
+    }
+
+    /// Densifies into the `transient rank × absorbing rank` matrix of
+    /// [`AbsorbingChain::solve_exact`] — for differential tests; the
+    /// production path consumes [`SparseAbsorption::sparse_row`] directly.
+    pub fn to_dense(&self) -> Vec<Vec<Ratio>> {
+        let na = self.absorbing_states.len();
+        self.rows
+            .iter()
+            .map(|row| {
+                let mut dense = vec![Ratio::zero(); na];
+                for (a, p) in row {
+                    dense[*a] = p.clone();
+                }
+                dense
+            })
+            .collect()
+    }
+
+    /// Rounds into the float [`AbsorptionResult`] shared by every
+    /// [`SolverBackend`].
+    pub fn to_result(&self) -> AbsorptionResult {
+        AbsorptionResult {
+            n: self.n,
+            transient_ix: self.transient_ix.clone(),
+            absorbing_ix: self.absorbing_ix.clone(),
+            absorbing_states: self.absorbing_states.clone(),
+            probs: self
+                .to_dense()
+                .into_iter()
+                .map(|row| row.into_iter().map(|p| p.to_f64()).collect())
+                .collect(),
+        }
+    }
 }
 
 impl AbsorptionResult {
@@ -307,13 +672,70 @@ impl AbsorptionResult {
 mod tests {
     use super::*;
 
-    fn backends() -> [SolverBackend; 4] {
+    fn backends() -> [SolverBackend; 5] {
         [
+            SolverBackend::SparseScc,
             SolverBackend::SparseLu,
             SolverBackend::GaussSeidel,
             SolverBackend::Jacobi,
             SolverBackend::DenseLu,
         ]
+    }
+
+    #[test]
+    fn sparse_scc_matches_exact_on_cyclic_chain() {
+        // 0 ↔ 2 cycle feeding absorbing 3; exercises a non-singleton SCC.
+        let mut chain = AbsorbingChain::new(4);
+        chain.set_absorbing(3);
+        chain.add(0, 1, Ratio::new(1, 3));
+        chain.add(0, 2, Ratio::new(2, 3));
+        chain.add(1, 3, Ratio::one());
+        chain.add(2, 0, Ratio::new(1, 2));
+        chain.add(2, 3, Ratio::new(1, 2));
+        let exact = chain.solve_exact().unwrap();
+        for lumping in [false, true] {
+            let sparse = chain.solve_sparse_scc(lumping).unwrap();
+            assert_eq!(sparse.to_dense(), exact, "lumping={lumping}");
+        }
+    }
+
+    #[test]
+    fn sparse_scc_detects_trapped_states() {
+        // 0 → 1 → 0 with no exit: not an absorbing chain.
+        let mut chain = AbsorbingChain::new(3);
+        chain.set_absorbing(2);
+        chain.add(0, 1, Ratio::one());
+        chain.add(1, 0, Ratio::one());
+        assert!(matches!(
+            chain.solve_sparse_scc(false),
+            Err(LinalgError::Singular(_))
+        ));
+        // Self-loop with probability 1 is the singleton flavour.
+        let mut chain = AbsorbingChain::new(2);
+        chain.set_absorbing(1);
+        chain.add(0, 0, Ratio::one());
+        assert!(matches!(
+            chain.solve_sparse_scc(false),
+            Err(LinalgError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn lumping_collapses_symmetric_branches() {
+        // Two isomorphic branches from a fork: 1 and 2 lump.
+        let mut chain = AbsorbingChain::new(4);
+        chain.set_absorbing(3);
+        chain.add(0, 1, Ratio::new(1, 2));
+        chain.add(0, 2, Ratio::new(1, 2));
+        chain.add(1, 3, Ratio::one());
+        chain.add(2, 3, Ratio::one());
+        let sparse = chain.solve_sparse_scc(true).unwrap();
+        assert!(
+            sparse.lumped_blocks() < 3,
+            "expected symmetric states to lump"
+        );
+        assert_eq!(sparse.prob(0, 3), Ratio::one());
+        assert_eq!(sparse.to_dense(), chain.solve_exact().unwrap());
     }
 
     #[test]

@@ -20,14 +20,18 @@ pub mod absorbing;
 mod dense;
 mod iterative;
 mod lu;
+pub mod lump;
 mod scalar;
+pub mod scc;
 mod sparse;
 
-pub use absorbing::{AbsorbingChain, AbsorptionResult, SolverBackend};
+pub use absorbing::{AbsorbingChain, AbsorptionResult, SolverBackend, SparseAbsorption};
 pub use dense::DenseMatrix;
 pub use iterative::{gauss_seidel, jacobi, IterativeOptions};
 pub use lu::SparseLu;
+pub use lump::{is_lumpable, refine, Partition};
 pub use scalar::Scalar;
+pub use scc::{condense, Condensation};
 pub use sparse::{CsrMatrix, Triplets};
 
 /// Errors produced by solvers.

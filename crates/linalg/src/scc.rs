@@ -1,0 +1,190 @@
+//! Strongly connected components and the condensation DAG.
+//!
+//! The absorbing-chain solver decomposes the transient subgraph into its
+//! SCCs (Tarjan's algorithm, implemented iteratively so deep chains cannot
+//! overflow the stack) and solves absorption probabilities one component
+//! at a time in reverse topological order: by the time a component is
+//! processed, every transient state it can reach outside itself is already
+//! solved, so each block reduces to a small independent linear system.
+
+/// The condensation of a directed graph on states `0..n`.
+///
+/// Components are emitted in *reverse topological order* of the
+/// condensation DAG: every edge out of `components[c]` lands either inside
+/// the component or in some `components[c']` with `c' < c`. Processing
+/// components in index order therefore visits all successors of a
+/// component before the component itself.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// Map state → index of its component in [`Condensation::components`].
+    pub comp_of: Vec<usize>,
+    /// The components, each a list of member states, in reverse
+    /// topological order.
+    pub components: Vec<Vec<usize>>,
+}
+
+impl Condensation {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if the graph had no states.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+/// Computes the condensation of the graph on `0..n` whose successor lists
+/// are `succ` (parallel edges and self-loops are fine).
+///
+/// # Panics
+///
+/// Panics if `succ.len() != n` or an edge target is out of range.
+pub fn condense(n: usize, succ: &[Vec<usize>]) -> Condensation {
+    assert_eq!(succ.len(), n, "successor list length mismatch");
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comp_of = vec![UNVISITED; n];
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative Tarjan: each call frame is (state, next child position).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = succ[v].get(*ci) {
+                *ci += 1;
+                assert!(w < n, "edge target {w} out of range");
+                if index[w] == UNVISITED {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // All children explored: close the frame.
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    // v is the root of an SCC: pop it off the Tarjan stack.
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp_of[w] = components.len();
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    Condensation {
+        comp_of,
+        components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+        let mut succ = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            succ[u].push(v);
+        }
+        succ
+    }
+
+    /// Every edge must point into the same or an earlier component —
+    /// the reverse-topological invariant the solver relies on.
+    fn assert_reverse_topological(n: usize, succ: &[Vec<usize>], c: &Condensation) {
+        for (u, out) in succ.iter().enumerate().take(n) {
+            for &v in out {
+                assert!(
+                    c.comp_of[v] <= c.comp_of[u],
+                    "edge {u}→{v} crosses components backwards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_gives_singletons_in_reverse_topo_order() {
+        let succ = graph(4, &[(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let c = condense(4, &succ);
+        assert_eq!(c.len(), 4);
+        assert!(c.components.iter().all(|comp| comp.len() == 1));
+        assert_reverse_topological(4, &succ, &c);
+        // The sink (3) must come first.
+        assert_eq!(c.components[0], vec![3]);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let succ = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let c = condense(3, &succ);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.components[0].len(), 3);
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        // {0,1} → {2,3}: the downstream cycle must be emitted first.
+        let succ = graph(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let c = condense(4, &succ);
+        assert_eq!(c.len(), 2);
+        assert_reverse_topological(4, &succ, &c);
+        let mut first = c.components[0].clone();
+        first.sort_unstable();
+        assert_eq!(first, vec![2, 3]);
+    }
+
+    #[test]
+    fn self_loops_stay_singletons() {
+        let succ = graph(2, &[(0, 0), (0, 1), (1, 1)]);
+        let c = condense(2, &succ);
+        assert_eq!(c.len(), 2);
+        assert_reverse_topological(2, &succ, &c);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-state path: the recursive formulation would blow the stack.
+        let n = 100_000;
+        let mut succ = vec![Vec::new(); n];
+        for (i, out) in succ.iter_mut().enumerate().take(n - 1) {
+            out.push(i + 1);
+        }
+        let c = condense(n, &succ);
+        assert_eq!(c.len(), n);
+        assert_eq!(c.components[0], vec![n - 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = condense(0, &[]);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+}

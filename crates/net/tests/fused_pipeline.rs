@@ -236,6 +236,47 @@ fn fattree10_smoke_compile() {
     );
 }
 
+/// The scale the sparse SCC solve (plus symmetry lumping) unlocks:
+/// fattree(16) *with failures* — thousands of transient loop states —
+/// compiles inside a strict wall-clock budget even in debug builds, and
+/// the answer is a real probability, not a degenerate one. The budget is
+/// generous for CI-grade hardware but would blow up instantly if the
+/// dense solve ever crept back in.
+#[test]
+fn fattree16_smoke_compile_with_failures() {
+    let budget = std::time::Duration::from_secs(120);
+    let start = std::time::Instant::now();
+    let topo = fattree(16);
+    let dst = topo.find("edge0_0").unwrap();
+    let m = NetworkModel::new(
+        topo,
+        dst,
+        RoutingScheme::Ecmp,
+        FailureModel::independent(Ratio::new(1, 1000)),
+    );
+    let mgr = Manager::new();
+    let fdd = m.compile(&mgr).unwrap();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < budget,
+        "fattree(16) compile took {elapsed:?}, budget {budget:?}"
+    );
+    let src = m.topo.find("edge1_0").unwrap();
+    let pk = mcnetkat_core::Packet::new().with(m.fields.sw, m.topo.sw_value(src));
+    let p = mgr.prob_delivery(fdd, &pk);
+    assert!(
+        p > Ratio::new(99, 100) && p < Ratio::one(),
+        "delivery under 1/1000 failures should be near-certain but not 1"
+    );
+    let stats = mgr.loop_solve_stats();
+    assert!(
+        stats.lumped_blocks < stats.transient_states / 10,
+        "symmetry quotient should collapse the chain by ≥10×: {} blocks from {} states",
+        stats.lumped_blocks,
+        stats.transient_states,
+    );
+}
+
 /// Sanity check that the §2-style delivery numbers survive the pipeline
 /// swap on a real fattree: fused and legacy agree on the actual query
 /// output, not just on `equiv`.
