@@ -1,0 +1,464 @@
+//! The program-level linter: a path-insensitive abstract interpretation
+//! over `core::ast` programs.
+//!
+//! The walk tracks, per field, an abstract value (`Entry` — still holds
+//! whatever the packet arrived with; `Const(v)` — pinned to `v` on every
+//! path; `Unknown` — differs across paths) plus a *may-assigned* set
+//! (assigned on at least one path so far). Loops are widened: every field
+//! the body assigns goes to `Unknown` (and may-assigned) before the body
+//! is linted, so a field drawn early in an iteration and tested later —
+//! or tested on iteration two after being assigned on iteration one —
+//! never produces a false positive.
+
+use crate::{Diagnostic, LintCode, LintReport};
+use mcnetkat_core::{Field, Pred, Prog, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What the linter may assume about the program's environment. The
+/// defaults assume nothing: no input fields, no domains, no scratch
+/// discipline — only the purely structural lints (NL008, NL009) fire on
+/// a default config.
+#[derive(Clone, Default, Debug)]
+pub struct LintConfig {
+    /// Fields defined at program entry (e.g. `sw`/`pt` for network
+    /// models). Tests of these are never "before assignment".
+    pub input_fields: BTreeSet<Field>,
+    /// Fields observed after the program exits. Exempt from the
+    /// write-only lint (NL002).
+    pub output_fields: BTreeSet<Field>,
+    /// Declared scratch fields (`up_i`/`grp_j`). Exempt from NL002 —
+    /// they *are* the scratch the lint would suggest — and subject to
+    /// the escape check (NL003) when
+    /// [`LintConfig::scratch_dead_at_exit`] is set.
+    pub scratch_fields: BTreeSet<Field>,
+    /// Per-field sets of values a *test* may mention. A test outside the
+    /// domain can never hold (NL004) — e.g. `sw = n` for a switch the
+    /// topology does not have.
+    pub field_domains: BTreeMap<Field, BTreeSet<Value>>,
+    /// Per-field sets of values an *assignment* may store. An assignment
+    /// outside the domain is NL005 — e.g. a scheme forwarding to a port
+    /// absent from the topology.
+    pub assign_domains: BTreeMap<Field, BTreeSet<Value>>,
+    /// When set, every scratch field must be provably zero (or never
+    /// assigned) when the program exits — the per-hop discipline the
+    /// fused compiler's `eliminate` relies on. Violations are NL003.
+    pub scratch_dead_at_exit: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AbsVal {
+    /// Still the packet's entry value.
+    Entry,
+    /// Pinned to this constant on every path.
+    Const(Value),
+    /// Differs across paths.
+    Unknown,
+}
+
+#[derive(Clone, PartialEq, Eq)]
+struct State {
+    vals: BTreeMap<Field, AbsVal>,
+    maybe: BTreeSet<Field>,
+}
+
+impl State {
+    fn new() -> State {
+        State {
+            vals: BTreeMap::new(),
+            maybe: BTreeSet::new(),
+        }
+    }
+
+    fn get(&self, f: Field) -> AbsVal {
+        self.vals.get(&f).copied().unwrap_or(AbsVal::Entry)
+    }
+
+    fn set(&mut self, f: Field, v: AbsVal) {
+        self.vals.insert(f, v);
+    }
+
+    /// Least upper bound with another path's state: values agree or go
+    /// `Unknown`; may-assigned is the union.
+    fn join(&mut self, other: &State) {
+        let keys: BTreeSet<Field> = self.vals.keys().chain(other.vals.keys()).copied().collect();
+        for f in keys {
+            let j = if self.get(f) == other.get(f) {
+                self.get(f)
+            } else {
+                AbsVal::Unknown
+            };
+            self.vals.insert(f, j);
+        }
+        self.maybe.extend(other.maybe.iter().copied());
+    }
+
+    /// Loop widening: every field `body` assigns could hold anything at
+    /// the head of any iteration.
+    fn widen(&mut self, body: &Prog) {
+        let mut assigned = BTreeSet::new();
+        assigned_fields(body, &mut assigned);
+        for f in assigned {
+            self.set(f, AbsVal::Unknown);
+            self.maybe.insert(f);
+        }
+    }
+}
+
+struct Ctx<'a> {
+    cfg: &'a LintConfig,
+    out: Vec<Diagnostic>,
+    /// Every field a real `Assign` writes (local declarations and their
+    /// scope-exit erasures do not count), with the first write's path.
+    assigned: BTreeMap<Field, String>,
+    /// Every field some predicate tests.
+    tested: BTreeSet<Field>,
+}
+
+impl Ctx<'_> {
+    fn emit(&mut self, code: LintCode, path: &[String], message: String) {
+        self.out.push(Diagnostic {
+            code,
+            at: render(path),
+            message,
+        });
+    }
+}
+
+fn render(path: &[String]) -> String {
+    if path.is_empty() {
+        "<root>".to_string()
+    } else {
+        path.join("/")
+    }
+}
+
+/// Lints `prog` under `cfg`, rooting diagnostic paths at `root` (e.g. the
+/// model's name).
+pub fn lint_program(root: &str, prog: &Prog, cfg: &LintConfig) -> LintReport {
+    let mut ctx = Ctx {
+        cfg,
+        out: Vec::new(),
+        assigned: BTreeMap::new(),
+        tested: BTreeSet::new(),
+    };
+    let mut st = State::new();
+    let mut path = vec![root.to_string()];
+    walk(prog, &mut st, &mut ctx, &mut path);
+
+    // NL002: written but never tested, and not an input/output/scratch.
+    for (f, at) in &ctx.assigned {
+        if ctx.tested.contains(f)
+            || cfg.input_fields.contains(f)
+            || cfg.output_fields.contains(f)
+            || cfg.scratch_fields.contains(f)
+        {
+            continue;
+        }
+        ctx.out.push(Diagnostic {
+            code: LintCode::WriteOnlyField,
+            at: at.clone(),
+            message: format!(
+                "field {f} is written but never tested — dead state, or scratch that \
+                 should be declared and eliminated"
+            ),
+        });
+    }
+
+    // NL003: scratch must be provably dead (zero or untouched) at exit.
+    if cfg.scratch_dead_at_exit {
+        for &f in &cfg.scratch_fields {
+            match st.get(f) {
+                AbsVal::Entry | AbsVal::Const(0) => {}
+                AbsVal::Const(v) => ctx.emit(
+                    LintCode::ScratchEscape,
+                    &path,
+                    format!("scratch field {f} exits the hop holding {v} — it must be erased"),
+                ),
+                AbsVal::Unknown => ctx.emit(
+                    LintCode::ScratchEscape,
+                    &path,
+                    format!("scratch field {f} may exit the hop with a nonzero value on some path"),
+                ),
+            }
+        }
+    }
+
+    LintReport {
+        diagnostics: ctx.out,
+    }
+}
+
+fn walk(prog: &Prog, st: &mut State, ctx: &mut Ctx<'_>, path: &mut Vec<String>) {
+    match prog {
+        Prog::Filter(t) => lint_pred(t, st, ctx, path),
+        Prog::Assign(f, v) => {
+            if let Some(dom) = ctx.cfg.assign_domains.get(f) {
+                if !dom.contains(v) {
+                    ctx.emit(
+                        LintCode::AssignOutOfDomain,
+                        path,
+                        format!(
+                            "assignment {f} <- {v} targets a value outside the field's \
+                             declared domain"
+                        ),
+                    );
+                }
+            }
+            let at = render(path);
+            ctx.assigned.entry(*f).or_insert(at);
+            st.set(*f, AbsVal::Const(*v));
+            st.maybe.insert(*f);
+        }
+        Prog::Seq(p, q) => {
+            // `do p while t` desugars to `p ; while t do p` with the two
+            // copies of `p` structurally identical. Recognise the shape
+            // and treat both copies as one loop body under a single
+            // widened state: otherwise the first (unrolled) copy is
+            // walked with pre-loop constants and every test of a
+            // later-iteration value (detour flags, failure budgets)
+            // reads as dead — and genuine body findings get reported
+            // twice.
+            if let Prog::While(t, body) = &**q {
+                if **p == **body {
+                    walk_loop(t, p, st, ctx, path, "do-while.body");
+                    return;
+                }
+            }
+            path.push("seq.0".into());
+            walk(p, st, ctx, path);
+            path.pop();
+            path.push("seq.1".into());
+            walk(q, st, ctx, path);
+            path.pop();
+        }
+        Prog::Union(p, q) => {
+            let mut other = st.clone();
+            path.push("union.0".into());
+            walk(p, st, ctx, path);
+            path.pop();
+            path.push("union.1".into());
+            walk(q, &mut other, ctx, path);
+            path.pop();
+            st.join(&other);
+        }
+        Prog::Choice(branches) => {
+            let entry = st.clone();
+            let mut joined: Option<State> = None;
+            for (i, (p, r)) in branches.iter().enumerate() {
+                if !r.is_zero() && is_definite_drop(p) {
+                    path.push(format!("choice.{i}"));
+                    ctx.emit(
+                        LintCode::MassLoss,
+                        path,
+                        format!(
+                            "choice branch with probability {r} statically drops all mass — \
+                             the program is sub-stochastic by construction"
+                        ),
+                    );
+                    path.pop();
+                }
+                let mut branch_st = entry.clone();
+                path.push(format!("choice.{i}"));
+                walk(p, &mut branch_st, ctx, path);
+                path.pop();
+                match &mut joined {
+                    None => joined = Some(branch_st),
+                    Some(j) => j.join(&branch_st),
+                }
+            }
+            if let Some(j) = joined {
+                *st = j;
+            }
+        }
+        Prog::Star(p) => {
+            st.widen(p);
+            let mut body_st = st.clone();
+            path.push("star.body".into());
+            walk(p, &mut body_st, ctx, path);
+            path.pop();
+        }
+        Prog::If(t, p, q) => {
+            lint_pred(t, st, ctx, path);
+            let mut other = st.clone();
+            path.push("if.then".into());
+            walk(p, st, ctx, path);
+            path.pop();
+            path.push("if.else".into());
+            walk(q, &mut other, ctx, path);
+            path.pop();
+            st.join(&other);
+        }
+        Prog::While(t, p) => walk_loop(t, p, st, ctx, path, "while.body"),
+        Prog::Local(f, v, p) => {
+            // The declaration defines the field (so tests inside the
+            // scope are not "before assignment") but is not a *use* for
+            // the write-only lint; scope exit erases to 0.
+            st.set(*f, AbsVal::Const(*v));
+            st.maybe.insert(*f);
+            path.push("local".into());
+            walk(p, st, ctx, path);
+            path.pop();
+            st.set(*f, AbsVal::Const(0));
+        }
+    }
+}
+
+/// Shared walk for `while t do p` and `do p while t` loops: the
+/// divergence check (NL009), widening, guard lint, and one body walk.
+fn walk_loop(
+    t: &Pred,
+    p: &Prog,
+    st: &mut State,
+    ctx: &mut Ctx<'_>,
+    path: &mut Vec<String>,
+    body_label: &str,
+) {
+    // NL009: a loop whose body neither modifies any guard field nor drops
+    // keeps every guard-satisfying state transient forever — guaranteed
+    // non-absorption, which the loop solver would only discover as a
+    // `Singular` system at compile time.
+    if *t != Pred::False {
+        let mut guard_fields = BTreeSet::new();
+        pred_fields(t, &mut guard_fields);
+        let mut body_assigns = BTreeSet::new();
+        assigned_fields(p, &mut body_assigns);
+        if guard_fields.is_disjoint(&body_assigns) && !may_drop(p) {
+            ctx.emit(
+                LintCode::DivergentLoop,
+                path,
+                "loop can never terminate: the body neither assigns a guard field \
+                 nor drops, so no transient state can reach an absorbing state"
+                    .to_string(),
+            );
+        }
+    }
+    st.widen(p);
+    lint_pred(t, st, ctx, path);
+    let mut body_st = st.clone();
+    path.push(body_label.to_string());
+    walk(p, &mut body_st, ctx, path);
+    path.pop();
+}
+
+fn lint_pred(t: &Pred, st: &State, ctx: &mut Ctx<'_>, path: &mut Vec<String>) {
+    match t {
+        Pred::True | Pred::False => {}
+        Pred::Test(f, v) => {
+            ctx.tested.insert(*f);
+            if let Some(dom) = ctx.cfg.field_domains.get(f) {
+                if !dom.contains(v) {
+                    ctx.emit(
+                        LintCode::DeadTest,
+                        path,
+                        format!(
+                            "test {f} = {v} can never hold: the value is outside the \
+                             field's declared domain"
+                        ),
+                    );
+                    return;
+                }
+            }
+            match st.get(*f) {
+                AbsVal::Const(c) if c != *v => ctx.emit(
+                    LintCode::DeadTest,
+                    path,
+                    format!("test {f} = {v} can never hold: {f} is always {c} here"),
+                ),
+                AbsVal::Entry
+                    if *v != 0 && !ctx.cfg.input_fields.contains(f) && !st.maybe.contains(f) =>
+                {
+                    ctx.emit(
+                        LintCode::TestBeforeAssign,
+                        path,
+                        format!(
+                            "field {f} is tested (= {v}) before any possible assignment — \
+                             non-input fields read as 0 at entry, so the test cannot hold"
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+        Pred::Or(a, b) | Pred::And(a, b) => {
+            lint_pred(a, st, ctx, path);
+            lint_pred(b, st, ctx, path);
+        }
+        Pred::Not(a) => lint_pred(a, st, ctx, path),
+    }
+}
+
+/// Fields a predicate mentions.
+fn pred_fields(t: &Pred, out: &mut BTreeSet<Field>) {
+    match t {
+        Pred::True | Pred::False => {}
+        Pred::Test(f, _) => {
+            out.insert(*f);
+        }
+        Pred::Or(a, b) | Pred::And(a, b) => {
+            pred_fields(a, out);
+            pred_fields(b, out);
+        }
+        Pred::Not(a) => pred_fields(a, out),
+    }
+}
+
+/// Fields a program may assign (local declarations included — they bind
+/// the field within and erase it after, either way the field changes).
+fn assigned_fields(p: &Prog, out: &mut BTreeSet<Field>) {
+    match p {
+        Prog::Filter(_) => {}
+        Prog::Assign(f, _) | Prog::Local(f, _, _) => {
+            out.insert(*f);
+            if let Prog::Local(_, _, inner) = p {
+                assigned_fields(inner, out);
+            }
+        }
+        Prog::Union(a, b) | Prog::Seq(a, b) => {
+            assigned_fields(a, out);
+            assigned_fields(b, out);
+        }
+        Prog::Choice(branches) => {
+            for (q, _) in branches.iter() {
+                assigned_fields(q, out);
+            }
+        }
+        Prog::Star(a) | Prog::While(_, a) => assigned_fields(a, out),
+        Prog::If(_, a, b) => {
+            assigned_fields(a, out);
+            assigned_fields(b, out);
+        }
+    }
+}
+
+/// Whether every path through `p` drops the packet — the "statically
+/// drops all mass" test behind NL008. Conservative: `false` means "might
+/// deliver", never the other way around.
+fn is_definite_drop(p: &Prog) -> bool {
+    match p {
+        Prog::Filter(Pred::False) => true,
+        Prog::Filter(_) | Prog::Assign(..) | Prog::Star(_) | Prog::While(..) => false,
+        Prog::Seq(a, b) => is_definite_drop(a) || is_definite_drop(b),
+        Prog::Union(a, b) => is_definite_drop(a) && is_definite_drop(b),
+        Prog::Choice(branches) => branches
+            .iter()
+            .all(|(q, r)| r.is_zero() || is_definite_drop(q)),
+        Prog::If(_, a, b) => is_definite_drop(a) && is_definite_drop(b),
+        Prog::Local(_, _, a) => is_definite_drop(a),
+    }
+}
+
+/// Whether `p` can drop mass on some path — the absorption escape hatch
+/// for NL009. Conservative in the safe direction: `true` means "might
+/// drop" (suppresses the lint), so only constructs that provably never
+/// drop return `false`.
+fn may_drop(p: &Prog) -> bool {
+    match p {
+        Prog::Filter(Pred::True) => false,
+        Prog::Filter(_) => true,
+        Prog::Assign(..) => false,
+        Prog::Seq(a, b) | Prog::Union(a, b) => may_drop(a) || may_drop(b),
+        Prog::Choice(branches) => branches.iter().any(|(q, _)| may_drop(q)),
+        Prog::Star(a) | Prog::While(_, a) | Prog::Local(_, _, a) => may_drop(a),
+        Prog::If(_, a, b) => may_drop(a) || may_drop(b),
+    }
+}

@@ -1,0 +1,181 @@
+//! Model-level lints: [`lint_model`] wires the program linter up with the
+//! knowledge a [`NetworkModel`] carries — which fields are inputs, which
+//! are per-hop scratch, which `sw`/`pt` values exist — and adds the
+//! topology/failure-spec consistency checks that have no program-level
+//! counterpart (unreachable switches, never-drawn links).
+
+use crate::lint::{lint_program, LintConfig};
+use crate::{Diagnostic, LintCode, LintReport};
+use mcnetkat_core::Prog;
+use mcnetkat_net::{NetFields, NetworkModel};
+use mcnetkat_topo::{Level, NodeId, ShortestPaths, Topology};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Lints a complete network model: the full program `M̂` (def-use and
+/// domain checks), the loop body (scratch fields must be dead at hop
+/// exit), every switch's forwarding program (ports must exist on the
+/// switch), plus topology reachability (NL006) and failure-spec coverage
+/// (NL007). `name` roots every diagnostic's location.
+pub fn lint_model(name: &str, model: &NetworkModel) -> LintReport {
+    let mut report = program_report(name, model);
+    report.merge(body_report(name, model));
+    report.merge(switch_report(name, model));
+    report.merge(reachability_report(name, model));
+    report.merge(failure_report(name, model));
+    report
+}
+
+/// Lints one switch's forwarding program against the topology: every
+/// `pt <- n` must target a port that is actually wired on `s` (NL005).
+/// Public so schemes under development can be checked before they are
+/// assembled into a model.
+pub fn lint_switch_program(
+    topo: &Topology,
+    s: NodeId,
+    fields: &NetFields,
+    prog: &Prog,
+) -> LintReport {
+    // The fragment runs inside the model's case chain and loop: every
+    // field is defined by the surroundings, so def-use lints are the full
+    // program's business — only the forwarding domain is checked here.
+    let mut cfg = LintConfig {
+        input_fields: all_fields(fields),
+        ..LintConfig::default()
+    };
+    cfg.assign_domains
+        .insert(fields.pt, topo.ports(s).iter().map(|pp| pp.port).collect());
+    lint_program(&topo.info(s).name, prog, &cfg)
+}
+
+/// Every field a model program can mention.
+fn all_fields(fields: &NetFields) -> BTreeSet<mcnetkat_core::Field> {
+    let mut all: BTreeSet<_> = [fields.sw, fields.pt, fields.dt, fields.fl, fields.cnt]
+        .into_iter()
+        .collect();
+    all.extend(fields.ups().iter().copied());
+    all.extend(fields.grps().iter().copied());
+    all
+}
+
+/// The base config for linting a model's programs: `sw`/`pt`/`cnt` come
+/// in with the packet, `up_i`/`grp_j` are per-hop scratch, and `sw` only
+/// ever holds (or is tested against) actual switch values.
+fn model_config(model: &NetworkModel) -> LintConfig {
+    let f = &model.fields;
+    let mut cfg = LintConfig {
+        input_fields: [f.sw, f.pt, f.cnt].into_iter().collect(),
+        scratch_fields: f.ups().iter().chain(f.grps()).copied().collect(),
+        ..LintConfig::default()
+    };
+    let sw_values: BTreeSet<u32> = model
+        .topo
+        .switches()
+        .iter()
+        .map(|&s| model.topo.sw_value(s))
+        .collect();
+    cfg.field_domains.insert(f.sw, sw_values.clone());
+    cfg.assign_domains.insert(f.sw, sw_values);
+    cfg
+}
+
+/// Def-use and domain lints over the complete program `M̂`.
+fn program_report(name: &str, model: &NetworkModel) -> LintReport {
+    lint_program(name, &model.program(), &model_config(model))
+}
+
+/// The scratch-escape check (NL003) over one loop iteration: after
+/// `f ; p ; t̂ ; erase`, every `up_i`/`grp_j` must be provably dead, or
+/// per-hop randomness leaks into the loop state. Only NL003 findings are
+/// kept — everything else is (re)checked on the full program, where the
+/// local declarations and the loop context are visible.
+fn body_report(name: &str, model: &NetworkModel) -> LintReport {
+    let mut cfg = model_config(model);
+    // Loop-carried and declared-outside fields are all defined here.
+    cfg.input_fields = all_fields(&model.fields);
+    cfg.scratch_dead_at_exit = true;
+    let full = lint_program(&format!("{name}/body"), &model.body(), &cfg);
+    LintReport {
+        diagnostics: full.with_code(LintCode::ScratchEscape).cloned().collect(),
+    }
+}
+
+/// Per-switch forwarding-domain checks (NL005) over every switch's hop
+/// program.
+fn switch_report(name: &str, model: &NetworkModel) -> LintReport {
+    let sp = ShortestPaths::towards(&model.topo, model.dst);
+    let mut report = LintReport::default();
+    for &s in model.topo.switches() {
+        let prog = model.switch_policy(s, &sp);
+        let mut sub = lint_switch_program(&model.topo, s, &model.fields, &prog);
+        for d in &mut sub.diagnostics {
+            d.at = format!("{name}/{}", d.at);
+        }
+        report.merge(sub);
+    }
+    report
+}
+
+/// NL006: switches no ingress can ever reach, over the switch-to-switch
+/// links — their forwarding rules are dead weight.
+fn reachability_report(name: &str, model: &NetworkModel) -> LintReport {
+    let mut reach: BTreeSet<NodeId> = model.ingresses().into_iter().collect();
+    let mut queue: VecDeque<NodeId> = reach.iter().copied().collect();
+    while let Some(n) = queue.pop_front() {
+        for pp in model.topo.ports(n) {
+            if model.topo.info(pp.peer).level == Level::Host {
+                continue;
+            }
+            if reach.insert(pp.peer) {
+                queue.push_back(pp.peer);
+            }
+        }
+    }
+    let mut report = LintReport::default();
+    for &s in model.topo.switches() {
+        if !reach.contains(&s) {
+            report.diagnostics.push(Diagnostic {
+                code: LintCode::UnreachableSwitch,
+                at: format!("{name}/topology/{}", model.topo.info(s).name),
+                message: "switch is unreachable from every ingress — its forwarding \
+                          rules can never fire"
+                    .to_string(),
+            });
+        }
+    }
+    report
+}
+
+/// NL007: failure-prone links whose effective failure probability is zero
+/// under the spec. The model still guards them with `up` tests and draws,
+/// but the draw always comes up healthy — usually a forgotten override or
+/// a zero-probability group.
+fn failure_report(name: &str, model: &NetworkModel) -> LintReport {
+    let mut report = LintReport::default();
+    if model.failure.is_failure_free() {
+        // `f_0` is an explicit "no failures" request, not a smell.
+        return report;
+    }
+    for &s in model.topo.switches() {
+        let sw = model.topo.sw_value(s);
+        for p in model.prone_ports(s) {
+            let group = model
+                .failure
+                .groups
+                .iter()
+                .find(|g| g.members.contains(&(sw, p)));
+            let eff = group.map_or_else(|| model.failure.port_pr(p), |g| &g.pr);
+            if eff.is_zero() {
+                let via = group.map_or(String::new(), |g| format!(" (via group {})", g.name));
+                report.diagnostics.push(Diagnostic {
+                    code: LintCode::UndrawnLink,
+                    at: format!("{name}/failure/{}:{p}", model.topo.info(s).name),
+                    message: format!(
+                        "failure-prone link has effective failure probability 0{via} — \
+                         it is never actually drawn down"
+                    ),
+                });
+            }
+        }
+    }
+    report
+}

@@ -12,6 +12,8 @@
 //! mass is reported so callers can see the approximation gap — unlike the
 //! native backend, which computes limits in closed form.
 
+#![forbid(unsafe_code)]
+
 use mcnetkat_core::{Interp, Packet, Pred, Prog};
 use mcnetkat_num::Ratio;
 

@@ -10,7 +10,22 @@ use mcnetkat_num::Ratio;
 use mcnetkat_prism::{check_reachability, translate, McMode};
 use mcnetkat_topo::fattree;
 
+/// The diagram auditor walks every node and interning table after each
+/// model compile — timings taken with it on are meaningless. Every bench
+/// group asserts it is off (feature unification can silently turn it on).
+// Runtime (not const) on purpose: `cargo test --features audit` builds
+// the bench harness without running it, and must keep compiling.
+#[allow(clippy::assertions_on_constants)]
+fn assert_audit_off() {
+    assert!(
+        !mcnetkat_fdd::AUDIT_ENABLED,
+        "the `audit` feature is enabled in a benchmark build — timings \
+         would include invariant audits; rebuild without it"
+    );
+}
+
 fn bench_fattree_compile(c: &mut Criterion) {
+    assert_audit_off();
     let mut group = c.benchmark_group("fattree_compile");
     group.sample_size(10);
     // p = 8 was the body-compile frontier before the fused per-switch
@@ -73,6 +88,7 @@ fn bench_fattree_compile(c: &mut Criterion) {
 /// Exercises the group-draw encoding, the per-hop group erasure, and the
 /// final scratch-field projection (`Manager::forget`).
 fn bench_fattree_srlg(c: &mut Criterion) {
+    assert_audit_off();
     let mut group = c.benchmark_group("fattree_srlg");
     group.sample_size(10);
     // p = 12 rides on the sparse SCC loop solve — with the dense solve it
@@ -94,6 +110,7 @@ fn bench_fattree_srlg(c: &mut Criterion) {
 }
 
 fn bench_chain_engines(c: &mut Criterion) {
+    assert_audit_off();
     let mut group = c.benchmark_group("chain_engines");
     group.sample_size(10);
     let k = 4;
@@ -131,6 +148,7 @@ fn bench_chain_engines(c: &mut Criterion) {
 
 /// Ablation: the same absorbing chain solved by each linear backend.
 fn bench_solver_backends(c: &mut Criterion) {
+    assert_audit_off();
     let mut group = c.benchmark_group("solver_backends");
     // A leaky random-walk chain with 400 transient states: each state
     // moves forward/backward with probability 0.45 and absorbs with 0.1,
@@ -171,6 +189,7 @@ fn bench_solver_backends(c: &mut Criterion) {
 /// `exact_threshold`, so without the pin both arms would measure the
 /// same thing.
 fn bench_exact_vs_float_loops(c: &mut Criterion) {
+    assert_audit_off();
     let mut group = c.benchmark_group("loop_solving");
     group.sample_size(10);
     let bench = chain_benchmark(3, Ratio::new(1, 100));

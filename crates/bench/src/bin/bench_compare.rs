@@ -53,7 +53,20 @@ const STABLE_PREFIXES: &[&str] = &[
     "fattree_srlg/linecard1000/12",
 ];
 
+// The audit guard asserts on a feature-dependent constant on purpose: a
+// const assert would instead break `cargo test --features audit`, where
+// building this binary (without running it) is fine.
+#[allow(clippy::assertions_on_constants)]
 fn main() -> ExitCode {
+    // The diagram auditor adds a full node/interning-table walk to every
+    // model compile — numbers taken with it on are not comparable to the
+    // baseline. Feature unification is the usual culprit (some crate in
+    // the build turning `audit` on for everyone), so fail loudly.
+    assert!(
+        !mcnetkat_fdd::AUDIT_ENABLED,
+        "the `audit` feature is enabled in a benchmark build — timings \
+         would include invariant audits; rebuild without it"
+    );
     let mut fail_on_regress = false;
     let mut update_baseline = false;
     let mut stable_only = false;

@@ -40,7 +40,16 @@ fn model_for(p: usize) -> NetworkModel {
     )
 }
 
+// The audit guard is a runtime (not const) assert on purpose: `cargo
+// test --features audit` builds this binary without running it, and must
+// keep compiling.
+#[allow(clippy::assertions_on_constants)]
 fn main() {
+    assert!(
+        !mcnetkat_fdd::AUDIT_ENABLED,
+        "the `audit` feature is enabled in a profiling build — timings \
+         would include invariant audits; rebuild without it"
+    );
     if std::env::args().any(|a| a == "--order") {
         order_sweep();
         return;

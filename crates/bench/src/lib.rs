@@ -6,6 +6,8 @@
 //! `MCNETKAT_SCALE` environment variable: `small` (default, finishes in
 //! seconds), `paper` (closer to the paper's ranges; minutes).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// Measurement scale for benchmark binaries.

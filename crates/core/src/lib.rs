@@ -25,6 +25,8 @@
 //! assert!(p.is_guarded());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod ast;
 mod field;
 mod interp;

@@ -30,6 +30,8 @@
 //! # Ok::<(), mcnetkat_fdd::CompileError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod action;
 mod compile;
 mod export;
@@ -43,9 +45,18 @@ pub use action::{Action, ActionDist};
 pub use compile::{CompileError, CompileOptions};
 pub use export::FddExport;
 pub(crate) use manager::Node;
+#[cfg(feature = "audit")]
+pub use manager::{AuditReport, AuditViolation};
 pub use manager::{
     Fdd, LoopSolveStats, Manager, OpCacheEntry, OpCacheStats, ScratchField, WhileCacheStats,
 };
 pub use matrix::BigStepMatrix;
 pub use query::{OutputDist, SymOutputDist};
 pub use sympkt::{step, Domain, SymPkt};
+
+/// Whether this build was compiled with the `audit` feature (and thus
+/// pays for `Manager::audit`'s machinery — the method only exists under
+/// the feature, so no intra-doc link — plus any downstream self-auditing
+/// compile hooks). Release benches assert this is `false` so the auditor
+/// can never silently tax a measured hot path.
+pub const AUDIT_ENABLED: bool = cfg!(feature = "audit");

@@ -369,6 +369,40 @@ fn var_of(node: &Node) -> Option<(Field, Value)> {
     }
 }
 
+/// Explains how a `Branch { field, value, hi, lo }` node would break the
+/// canonical FDD ordering, or `None` when it is well-ordered. The rule
+/// (§5.1): the true branch never re-tests the same field (its root
+/// variable must lie on a strictly greater field), and the false branch's
+/// root variable must be strictly greater in the `(field, value)` order.
+///
+/// Shared between `mk_branch`'s construction-time `debug_assert!` and the
+/// `audit` feature's full-table walk, so the two checks can never drift.
+/// (Release builds without `audit` compile both callers out.)
+#[cfg_attr(not(any(debug_assertions, feature = "audit")), allow(dead_code))]
+fn branch_order_violation(
+    nodes: &[Node],
+    field: Field,
+    value: Value,
+    hi: Fdd,
+    lo: Fdd,
+) -> Option<String> {
+    if let Some((f, v)) = var_of(&nodes[hi.0 as usize]) {
+        if f <= field {
+            return Some(format!(
+                "true branch re-tests ({f:?}, {v}) — must test a strictly greater field"
+            ));
+        }
+    }
+    if let Some((f, v)) = var_of(&nodes[lo.0 as usize]) {
+        if (f, v) <= (field, value) {
+            return Some(format!(
+                "false branch tests ({f:?}, {v}) — must be strictly greater in (field, value) order"
+            ));
+        }
+    }
+    None
+}
+
 impl Manager {
     /// Creates an empty manager.
     pub fn new() -> Manager {
@@ -806,6 +840,311 @@ impl Manager {
             ],
         }
     }
+
+    /// Walks the *entire* live node table and every interning table,
+    /// checking the structural invariants the compiler relies on:
+    ///
+    /// * canonical `(field, value)` order on every branch (the same named
+    ///   check `mk_branch` debug-asserts at construction time);
+    /// * no redundant branches (`hi == lo`) and no structural duplicates
+    ///   (hash-consing must make structural equality pointer equality);
+    /// * the hash-cons map is an exact inverse of the node table;
+    /// * no dangling child, `DistId` or `ActId` references, and the
+    ///   dist/action identity maps round-trip through their tables;
+    /// * every leaf distribution is sub-stochastic (mass ≤ 1) with sorted,
+    ///   strictly positive entries whose probabilities are canonical
+    ///   [`Ratio`]s.
+    ///
+    /// This is a diagnostic pass, not a hot-path check: it takes the
+    /// manager lock for the full walk and costs O(nodes + dist entries).
+    /// Only available with the `audit` cargo feature; release benches
+    /// assert the feature is *off* (see [`crate::AUDIT_ENABLED`]).
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) -> AuditReport {
+        let inner = self.inner.lock();
+        let mut violations = Vec::new();
+
+        let mut seen: FxHashMap<Node, u32> = FxHashMap::default();
+        for (i, node) in inner.nodes.iter().enumerate() {
+            let id = i as u32;
+            match *node {
+                Node::Leaf(did) => {
+                    if did.0 as usize >= inner.dists.len() {
+                        violations.push(AuditViolation::DanglingDist {
+                            node: id,
+                            dist: did.0,
+                        });
+                    }
+                }
+                Node::Branch {
+                    field,
+                    value,
+                    hi,
+                    lo,
+                } => {
+                    let mut dangling = false;
+                    for child in [hi, lo] {
+                        // Children must precede their parent: the table is
+                        // append-only and `mk_branch` interns bottom-up.
+                        if child.0 >= id {
+                            violations.push(AuditViolation::DanglingChild {
+                                node: id,
+                                child: child.0,
+                            });
+                            dangling = true;
+                        }
+                    }
+                    if dangling {
+                        continue;
+                    }
+                    if hi == lo {
+                        violations.push(AuditViolation::RedundantBranch { node: id });
+                    } else if let Some(detail) =
+                        branch_order_violation(&inner.nodes, field, value, hi, lo)
+                    {
+                        violations.push(AuditViolation::OrderViolation { node: id, detail });
+                    }
+                }
+            }
+            if let Some(&first) = seen.get(node) {
+                violations.push(AuditViolation::DuplicateNode { node: id, first });
+            } else {
+                seen.insert(*node, id);
+            }
+        }
+
+        if inner.consed.map.len() != inner.nodes.len() {
+            violations.push(AuditViolation::ConsMapMismatch {
+                detail: format!(
+                    "hash-cons map has {} entries for {} nodes",
+                    inner.consed.map.len(),
+                    inner.nodes.len()
+                ),
+            });
+        }
+        for (node, &id) in &inner.consed.map {
+            if inner.nodes.get(id.0 as usize) != Some(node) {
+                violations.push(AuditViolation::ConsMapMismatch {
+                    detail: format!("map entry {node:?} -> {} disagrees with node table", id.0),
+                });
+            }
+        }
+
+        for (i, dist) in inner.dists.iter().enumerate() {
+            let id = i as u32;
+            let mass = dist.mass();
+            if !mass.is_probability() {
+                violations.push(AuditViolation::SuperStochasticLeaf { dist: id, mass });
+            }
+            let mut prev: Option<&Action> = None;
+            for (a, r) in dist.iter() {
+                if r.is_negative() || r.is_zero() {
+                    violations.push(AuditViolation::NonPositiveEntry { dist: id });
+                }
+                if !r.is_canonical() {
+                    violations.push(AuditViolation::NonCanonicalRatio { dist: id });
+                }
+                if prev.is_some_and(|p| p >= a) {
+                    violations.push(AuditViolation::UnsortedDist { dist: id });
+                }
+                prev = Some(a);
+            }
+        }
+
+        if inner.dist_ids.len() != inner.dists.len() {
+            violations.push(AuditViolation::InternMapMismatch {
+                detail: format!(
+                    "dist identity map has {} entries for {} distributions",
+                    inner.dist_ids.len(),
+                    inner.dists.len()
+                ),
+            });
+        }
+        for (dist, &id) in &inner.dist_ids {
+            if inner.dists.get(id.0 as usize).map(Arc::as_ref) != Some(dist.as_ref()) {
+                violations.push(AuditViolation::InternMapMismatch {
+                    detail: format!("dist id {} does not round-trip through the table", id.0),
+                });
+            }
+        }
+        if inner.action_ids.len() != inner.actions.len() {
+            violations.push(AuditViolation::InternMapMismatch {
+                detail: format!(
+                    "action identity map has {} entries for {} actions",
+                    inner.action_ids.len(),
+                    inner.actions.len()
+                ),
+            });
+        }
+        for (action, &id) in &inner.action_ids {
+            if inner.actions.get(id.0 as usize).map(Arc::as_ref) != Some(action.as_ref()) {
+                violations.push(AuditViolation::InternMapMismatch {
+                    detail: format!("action id {} does not round-trip through the table", id.0),
+                });
+            }
+        }
+
+        AuditReport {
+            nodes: inner.nodes.len(),
+            dists: inner.dists.len(),
+            actions: inner.actions.len(),
+            violations,
+        }
+    }
+}
+
+/// One invariant violation found by [`Manager::audit`].
+#[cfg(feature = "audit")]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditViolation {
+    /// A branch node's children break the canonical `(field, value)` order.
+    OrderViolation {
+        /// Offending node id.
+        node: u32,
+        /// Which child broke the order, and how.
+        detail: String,
+    },
+    /// A branch with identical children survived construction (`mk_branch`
+    /// must collapse these).
+    RedundantBranch {
+        /// Offending node id.
+        node: u32,
+    },
+    /// Two structurally identical nodes were allocated — hash-consing no
+    /// longer makes structural equality pointer equality.
+    DuplicateNode {
+        /// The later duplicate.
+        node: u32,
+        /// The first allocation of the same structure.
+        first: u32,
+    },
+    /// The hash-cons map disagrees with the node table.
+    ConsMapMismatch {
+        /// What disagreed.
+        detail: String,
+    },
+    /// A leaf references a distribution id outside the intern table.
+    DanglingDist {
+        /// Offending node id.
+        node: u32,
+        /// The out-of-range distribution id.
+        dist: u32,
+    },
+    /// A branch child points at itself or past the append-only table.
+    DanglingChild {
+        /// Offending node id.
+        node: u32,
+        /// The out-of-range child id.
+        child: u32,
+    },
+    /// A dist/action identity map disagrees with its table.
+    InternMapMismatch {
+        /// What disagreed.
+        detail: String,
+    },
+    /// A leaf distribution's total mass is outside `[0, 1]`.
+    SuperStochasticLeaf {
+        /// Offending distribution id.
+        dist: u32,
+        /// Its total mass.
+        mass: Ratio,
+    },
+    /// A leaf distribution stores a zero or negative entry probability.
+    NonPositiveEntry {
+        /// Offending distribution id.
+        dist: u32,
+    },
+    /// A leaf distribution's entries are not strictly sorted by action.
+    UnsortedDist {
+        /// Offending distribution id.
+        dist: u32,
+    },
+    /// A stored probability is not in canonical [`Ratio`] form.
+    NonCanonicalRatio {
+        /// Offending distribution id.
+        dist: u32,
+    },
+}
+
+#[cfg(feature = "audit")]
+impl std::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditViolation::OrderViolation { node, detail } => {
+                write!(f, "node {node}: ordering violated — {detail}")
+            }
+            AuditViolation::RedundantBranch { node } => {
+                write!(f, "node {node}: redundant branch (hi == lo)")
+            }
+            AuditViolation::DuplicateNode { node, first } => {
+                write!(f, "node {node}: structural duplicate of node {first}")
+            }
+            AuditViolation::ConsMapMismatch { detail } => {
+                write!(f, "hash-cons map: {detail}")
+            }
+            AuditViolation::DanglingDist { node, dist } => {
+                write!(f, "node {node}: dangling DistId {dist}")
+            }
+            AuditViolation::DanglingChild { node, child } => {
+                write!(f, "node {node}: dangling child {child}")
+            }
+            AuditViolation::InternMapMismatch { detail } => {
+                write!(f, "intern tables: {detail}")
+            }
+            AuditViolation::SuperStochasticLeaf { dist, mass } => {
+                write!(f, "dist {dist}: mass {mass} outside [0, 1]")
+            }
+            AuditViolation::NonPositiveEntry { dist } => {
+                write!(f, "dist {dist}: non-positive entry probability")
+            }
+            AuditViolation::UnsortedDist { dist } => {
+                write!(f, "dist {dist}: entries not strictly sorted by action")
+            }
+            AuditViolation::NonCanonicalRatio { dist } => {
+                write!(f, "dist {dist}: non-canonical Ratio")
+            }
+        }
+    }
+}
+
+/// The result of a [`Manager::audit`] pass: table sizes plus every
+/// violation found (empty means every checked invariant holds).
+#[cfg(feature = "audit")]
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// Nodes in the (append-only) node table.
+    pub nodes: usize,
+    /// Interned leaf distributions.
+    pub dists: usize,
+    /// Interned actions.
+    pub actions: usize,
+    /// Everything the walk found wrong.
+    pub violations: Vec<AuditViolation>,
+}
+
+#[cfg(feature = "audit")]
+impl AuditReport {
+    /// No violations found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with every violation when the report is not clean — the
+    /// one-liner for tests and self-auditing compile hooks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`AuditReport::is_clean`] is false.
+    pub fn assert_clean(&self) {
+        if !self.is_clean() {
+            let lines: Vec<String> = self.violations.iter().map(ToString::to_string).collect();
+            panic!(
+                "Manager::audit found {} violation(s):\n  {}",
+                self.violations.len(),
+                lines.join("\n  ")
+            );
+        }
+    }
 }
 
 impl Inner {
@@ -884,20 +1223,10 @@ impl Inner {
         if hi == lo {
             return hi;
         }
-        debug_assert!(
-            {
-                let ok_hi = match var_of(&self.nodes[hi.0 as usize]) {
-                    None => true,
-                    Some((f, _)) => f > field,
-                };
-                let ok_lo = match var_of(&self.nodes[lo.0 as usize]) {
-                    None => true,
-                    Some((f, v)) => (f, v) > (field, value),
-                };
-                ok_hi && ok_lo
-            },
-            "FDD ordering violated at ({field:?}, {value})"
-        );
+        #[cfg(debug_assertions)]
+        if let Some(why) = branch_order_violation(&self.nodes, field, value, hi, lo) {
+            panic!("FDD ordering violated at ({field:?}, {value}): {why}");
+        }
         self.cons(Node::Branch {
             field,
             value,

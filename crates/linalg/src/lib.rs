@@ -16,6 +16,8 @@
 //! The [`absorbing`] module puts these together into the absorbing-chain
 //! solver used by the FDD backend for `while` loops.
 
+#![forbid(unsafe_code)]
+
 pub mod absorbing;
 mod dense;
 mod iterative;

@@ -201,7 +201,30 @@ pub(crate) fn compile_model_fused(
         body = mgr.ite(test, hop, body);
     }
     let fdd = assemble_model(mgr, model, body, opts)?;
+    #[cfg(feature = "audit")]
+    audit_compiled_model(mgr, model, fdd);
     Ok((fdd, stats))
+}
+
+/// The `audit` feature's post-compile verification, run on every diagram
+/// the fused and parallel backends return: the manager's node and
+/// interning tables pass [`Manager::audit`], and the compiled model
+/// mentions no scratch field — `up_i`/`grp_j` must not survive
+/// elimination, whatever the failure spec.
+///
+/// # Panics
+///
+/// Panics on any audit violation or surviving scratch-field test.
+#[cfg(feature = "audit")]
+pub(crate) fn audit_compiled_model(mgr: &Manager, model: &NetworkModel, fdd: Fdd) {
+    mgr.audit().assert_clean();
+    let dom = mgr.domain(fdd);
+    for &f in model.fields.ups().iter().chain(model.fields.grps()) {
+        assert!(
+            !dom.tested.contains_key(&f),
+            "compiled model diagram tests scratch field {f} — elimination failed to strip it"
+        );
+    }
 }
 
 /// The shared sequential tail of both backends: loop solve, ingress

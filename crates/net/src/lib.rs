@@ -5,6 +5,8 @@
 //! specification, verification queries, and the parallel per-switch
 //! compilation backend.
 
+#![forbid(unsafe_code)]
+
 mod chain;
 mod example;
 mod failure;

@@ -105,7 +105,10 @@ pub fn compile_model_parallel_with_stats(
     // solve, ingress, normalisation, local wrappers. The hops already
     // carry the topology step and hop bump, and their scratch fields were
     // eliminated inside the workers — no erasure or projection remains.
-    Ok((assemble_model(mgr, model, body, opts)?, stats))
+    let fdd = assemble_model(mgr, model, body, opts)?;
+    #[cfg(feature = "audit")]
+    crate::fused::audit_compiled_model(mgr, model, fdd);
+    Ok((fdd, stats))
 }
 
 /// Compiles one worker's chunk of fused per-switch hops and folds them

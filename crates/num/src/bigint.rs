@@ -59,6 +59,18 @@ impl BigInt {
         }
     }
 
+    /// Whether the representation invariant holds: no trailing zero limb,
+    /// and zero is the empty limb vector with `negative == false`.
+    ///
+    /// Always true for values built through this crate's constructors
+    /// (every magnitude passes through the private `trim`); exposed by name
+    /// so invariant auditors — [`crate::Ratio::is_canonical`] and the FDD
+    /// manager's `audit()` pass — can verify stored values instead of
+    /// re-deriving the rule.
+    pub fn is_normalised(&self) -> bool {
+        self.limbs.last() != Some(&0) && !(self.limbs.is_empty() && self.negative)
+    }
+
     fn trim(mut limbs: Vec<u32>, negative: bool) -> BigInt {
         while limbs.last() == Some(&0) {
             limbs.pop();
@@ -105,9 +117,19 @@ impl BigInt {
         out
     }
 
+    /// `sub_abs`'s precondition: the minuend's magnitude is at least the
+    /// subtrahend's. Named so the assertion failures below say which
+    /// contract broke, not just which expression was false.
+    fn sub_abs_ordered(a: &[u32], b: &[u32]) -> bool {
+        Self::cmp_abs(a, b) != Ordering::Less
+    }
+
     /// Computes `a - b` assuming `|a| >= |b|`.
     fn sub_abs(a: &[u32], b: &[u32]) -> Vec<u32> {
-        debug_assert!(Self::cmp_abs(a, b) != Ordering::Less);
+        debug_assert!(
+            Self::sub_abs_ordered(a, b),
+            "sub_abs: |a| < |b| — callers must pass the larger magnitude first"
+        );
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0i64;
         for (i, &limb) in a.iter().enumerate() {
@@ -120,7 +142,10 @@ impl BigInt {
             }
             out.push(diff as u32);
         }
-        debug_assert_eq!(borrow, 0);
+        debug_assert_eq!(
+            borrow, 0,
+            "sub_abs: borrow escaped the top limb — the |a| >= |b| precondition was violated"
+        );
         out
     }
 
@@ -152,7 +177,10 @@ impl BigInt {
 
     /// Divides magnitude by a single limb, returning (quotient, remainder).
     fn divmod_small(a: &[u32], d: u32) -> (Vec<u32>, u32) {
-        debug_assert!(d != 0);
+        debug_assert!(
+            d != 0,
+            "divmod_small: zero divisor limb — divmod_abs must reject zero divisors first"
+        );
         let mut out = vec![0u32; a.len()];
         let mut rem = 0u64;
         for i in (0..a.len()).rev() {

@@ -16,6 +16,8 @@
 //! assert_eq!((half + third).to_string(), "5/6");
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bigint;
 mod ratio;
 

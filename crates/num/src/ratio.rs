@@ -246,6 +246,38 @@ impl Ratio {
         !self.is_negative() && *self <= Ratio::one()
     }
 
+    /// Whether the value is in canonical form: lowest terms, positive
+    /// denominator, zero stored as `0/1`, and demoted to the inline
+    /// representation whenever numerator and denominator both fit.
+    ///
+    /// Always true for values built through this crate's operations —
+    /// equality and hashing rely on it — so a `false` here means a
+    /// representation invariant was broken somewhere. Exposed by name for
+    /// invariant auditors (the FDD manager's `audit()` pass checks every
+    /// interned leaf probability with it).
+    pub fn is_canonical(&self) -> bool {
+        match &self.repr {
+            Repr::Small(n, d) => {
+                *d > 0
+                    && (*n != 0 || *d == 1)
+                    && gcd_u128(n.unsigned_abs() as u128, *d as u128) <= 1
+            }
+            Repr::Big(b) => {
+                let (n, d) = (&b.0, &b.1);
+                if !n.is_normalised() || !d.is_normalised() || d.is_negative() || d.is_zero() {
+                    return false;
+                }
+                // Demotion must have fired if both parts fit inline.
+                if let (Some(ni), Some(di)) = (n.to_i128(), d.to_i128()) {
+                    if (-SMALL_MAX..=SMALL_MAX).contains(&ni) && di <= SMALL_MAX {
+                        return false;
+                    }
+                }
+                n.gcd(d).is_one()
+            }
+        }
+    }
+
     /// The multiplicative inverse.
     ///
     /// # Panics

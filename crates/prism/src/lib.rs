@@ -8,6 +8,8 @@
 //! collapsing (to keep the `pc` variable small) → either pretty-printed
 //! PRISM source or direct model checking.
 
+#![forbid(unsafe_code)]
+
 mod automaton;
 mod mc;
 mod print;

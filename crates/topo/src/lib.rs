@@ -2,6 +2,8 @@
 //! generators used in the paper's evaluation — FatTree (§6, Figure 6),
 //! AB FatTree (§7, Figure 11a), and the Bayonet chain topology (Figure 9).
 
+#![forbid(unsafe_code)]
+
 mod abfattree;
 mod chain;
 mod dot;

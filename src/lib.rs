@@ -50,6 +50,9 @@
 //! assert!(mgr.less(flaky_fdd, fdd));
 //! # Ok::<(), mcnetkat::fdd::CompileError>(())
 //! ```
+#![forbid(unsafe_code)]
+
+pub use mcnetkat_analysis as analysis;
 pub use mcnetkat_baseline as baseline;
 pub use mcnetkat_core as core;
 pub use mcnetkat_fdd as fdd;
