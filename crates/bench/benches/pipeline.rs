@@ -11,8 +11,10 @@ use mcnetkat_prism::{check_reachability, translate, McMode};
 use mcnetkat_topo::fattree;
 
 /// The diagram auditor walks every node and interning table after each
-/// model compile — timings taken with it on are meaningless. Every bench
-/// group asserts it is off (feature unification can silently turn it on).
+/// model compile — timings taken with it on are meaningless. The same
+/// goes for the fault-injection registry: every armed-site check is a
+/// global-mutex hit on the hot path. Every bench group asserts both are
+/// off (feature unification can silently turn either on).
 // Runtime (not const) on purpose: `cargo test --features audit` builds
 // the bench harness without running it, and must keep compiling.
 #[allow(clippy::assertions_on_constants)]
@@ -21,6 +23,11 @@ fn assert_audit_off() {
         !mcnetkat_fdd::AUDIT_ENABLED,
         "the `audit` feature is enabled in a benchmark build — timings \
          would include invariant audits; rebuild without it"
+    );
+    assert!(
+        !mcnetkat_fdd::FAILPOINTS_ENABLED,
+        "the `failpoints` feature is enabled in a benchmark build — \
+         timings would include fault-injection checks; rebuild without it"
     );
 }
 

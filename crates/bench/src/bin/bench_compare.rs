@@ -67,6 +67,13 @@ fn main() -> ExitCode {
         "the `audit` feature is enabled in a benchmark build — timings \
          would include invariant audits; rebuild without it"
     );
+    // Same story for the fault-injection registry: an armed-site check on
+    // the compile hot path would skew every number it touches.
+    assert!(
+        !mcnetkat_fdd::FAILPOINTS_ENABLED,
+        "the `failpoints` feature is enabled in a benchmark build — \
+         timings would include fault-injection checks; rebuild without it"
+    );
     let mut fail_on_regress = false;
     let mut update_baseline = false;
     let mut stable_only = false;
@@ -235,10 +242,27 @@ fn report_opcache_rates() {
     };
     println!("\nop-cache hit rates ({path}):");
     let mut table = Table::new(&["cache", "hit rate"]);
+    let mut dense_fallbacks = 0u64;
     for (name, rate) in &rates {
+        // The solver fallback counters ride in the same dump as raw
+        // counts, not percentages (see perf_profile).
+        if name.ends_with("/fallback_retries") || name.ends_with("/dense_fallbacks") {
+            table.row(vec![name.clone(), format!("{rate:.0}")]);
+            if name.ends_with("/dense_fallbacks") {
+                dense_fallbacks += *rate as u64;
+            }
+            continue;
+        }
         table.row(vec![name.clone(), format!("{rate:.1}%")]);
     }
     table.print();
+    if dense_fallbacks > 0 {
+        eprintln!(
+            "\nwarning: {dense_fallbacks} loop solve(s) fell back to the dense \
+             exact reference — the sparse SCC solver is silently degrading \
+             (see `Manager::solve_report()` for the event log)"
+        );
+    }
 }
 
 /// The most recently modified candidate that exists on disk, else the

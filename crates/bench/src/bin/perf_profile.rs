@@ -50,6 +50,13 @@ fn main() {
         "the `audit` feature is enabled in a profiling build — timings \
          would include invariant audits; rebuild without it"
     );
+    // Same for the fault-injection registry: armed-site checks sit on the
+    // compile hot path and would skew every stage timing.
+    assert!(
+        !mcnetkat_fdd::FAILPOINTS_ENABLED,
+        "the `failpoints` feature is enabled in a profiling build — \
+         timings would include fault-injection checks; rebuild without it"
+    );
     if std::env::args().any(|a| a == "--order") {
         order_sweep();
         return;
@@ -111,7 +118,8 @@ fn main() {
         ]);
 
         // Loop-solver gauges: how much of the while-loop chains the
-        // symmetry quotient and SCC condensation actually removed.
+        // symmetry quotient and SCC condensation actually removed — and
+        // whether any solve degraded down the fallback chain.
         let ls = mgr.loop_solve_stats();
         solve_rows.push(vec![
             format!("fattree({p})"),
@@ -128,7 +136,21 @@ fn main() {
             } else {
                 "—".into()
             },
+            ls.fallback_retries.to_string(),
+            ls.dense_fallbacks.to_string(),
         ]);
+
+        // Fallback counters ride in the op-cache dump as raw counts, so a
+        // silent dense fallback shows up in BENCH_opcache.json (and trips
+        // bench_compare's warning) instead of hiding as a slow success.
+        rates.push((
+            format!("fattree{p}/fallback_retries"),
+            ls.fallback_retries as f64,
+        ));
+        rates.push((
+            format!("fattree{p}/dense_fallbacks"),
+            ls.dense_fallbacks as f64,
+        ));
 
         for c in mgr.op_cache_stats().caches {
             if c.lookups() == 0 {
@@ -158,6 +180,8 @@ fn main() {
         "SCCs",
         "max transient",
         "collapse",
+        "retries",
+        "dense",
     ]);
     for row in solve_rows {
         solves.row(row);
@@ -214,9 +238,10 @@ fn order_sweep() {
     );
 }
 
-/// Writes the hit rates as flat JSON (`{"label": percent, …}`), the same
-/// shape as the criterion shim's `BENCH_results.json`, so `bench_compare`
-/// can parse it with the machinery it already has.
+/// Writes the hit rates (percent) and solver-fallback counters (raw
+/// counts) as flat JSON (`{"label": number, …}`), the same shape as the
+/// criterion shim's `BENCH_results.json`, so `bench_compare` can parse it
+/// with the machinery it already has.
 fn dump_rates(rates: &[(String, f64)]) {
     let path =
         std::env::var("MCNETKAT_OPCACHE_PATH").unwrap_or_else(|_| "BENCH_opcache.json".to_string());

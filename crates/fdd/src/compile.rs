@@ -1,7 +1,7 @@
 //! Compilation of guarded ProbNetKAT programs to probabilistic FDDs
 //! (the "Compile" arrow of Figure 5).
 
-use crate::{loops, Action, ActionDist, Fdd, Manager};
+use crate::{loops, Action, ActionDist, Budget, Fdd, Manager};
 use mcnetkat_core::{Pred, Prog};
 use mcnetkat_linalg::{LinalgError, SolverBackend};
 use std::fmt;
@@ -27,6 +27,14 @@ pub struct CompileOptions {
     /// symmetric states (isomorphic fat-tree pods) to one representative.
     /// Exact — never changes the result, only the work.
     pub lumping: bool,
+    /// What to do when the configured loop solver fails (see
+    /// [`FallbackPolicy`]). Part of the `while`-cache key.
+    pub fallback: FallbackPolicy,
+    /// Resource limits for this compile (deadline, cancellation,
+    /// table-size ceilings). Unlimited by default; deliberately *not*
+    /// part of the `while`-cache key — a budget never changes a
+    /// successful result, and aborted compiles are never cached.
+    pub budget: Budget,
 }
 
 impl Default for CompileOptions {
@@ -36,6 +44,49 @@ impl Default for CompileOptions {
             state_limit: 4_000_000,
             exact_threshold: 512,
             lumping: true,
+            fallback: FallbackPolicy::default(),
+            budget: Budget::default(),
+        }
+    }
+}
+
+/// Declarative solver-degradation policy for `while`-loop solves.
+///
+/// The rung order for [`SolverBackend::SparseScc`] is: (1) the sparse
+/// SCC solve with the configured lumping, (2) the same solve with
+/// lumping disabled (a lumping edge case cannot then mask a solvable
+/// chain), (3) the dense exact reference solver. Float backends skip
+/// rung 2 (lumping is a sparse-path concept) and fall straight to the
+/// dense reference. Each rung that fires is counted in the manager's
+/// [`crate::SolveReport`], so degradation is visible, never silent.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FallbackPolicy {
+    /// Rung 2: retry the sparse SCC solve without lumping when the lumped
+    /// solve fails (only meaningful when `lumping` is on).
+    pub retry_without_lumping: bool,
+    /// Rung 3: fall back to the dense exact reference solver when every
+    /// sparse attempt has failed.
+    pub dense_exact: bool,
+}
+
+impl Default for FallbackPolicy {
+    /// Degrade through every rung — the robust default.
+    fn default() -> Self {
+        FallbackPolicy {
+            retry_without_lumping: true,
+            dense_exact: true,
+        }
+    }
+}
+
+impl FallbackPolicy {
+    /// No fallback at all: the first solver failure is the final answer.
+    /// What the pre-fallback compiler did; useful for differential tests
+    /// that must observe the raw solver error.
+    pub fn strict() -> FallbackPolicy {
+        FallbackPolicy {
+            retry_without_lumping: false,
+            dense_exact: false,
         }
     }
 }
@@ -52,12 +103,19 @@ impl Default for CompileOptions {
 /// so a future inexact quotient can't silently share cache entries with
 /// the unquotiented path. Leaving a field out would let a solution
 /// computed under one configuration answer a query made under another.
+/// `fallback` steers which solver ultimately produces the rows (a policy
+/// that reaches the dense reference can succeed where `strict()` errors,
+/// and the float ladder's dense rung changes leaf probabilities), so it
+/// is part of the key too. The [`Budget`] is the one options field *not*
+/// in the key: it decides whether a compile finishes, never what a
+/// finished compile produces, and aborted compiles are never cached.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub(crate) struct OptsKey {
     backend: SolverBackend,
     state_limit: usize,
     exact_threshold: usize,
     lumping: bool,
+    fallback: FallbackPolicy,
 }
 
 impl From<&CompileOptions> for OptsKey {
@@ -67,6 +125,7 @@ impl From<&CompileOptions> for OptsKey {
             state_limit: opts.state_limit,
             exact_threshold: opts.exact_threshold,
             lumping: opts.lumping,
+            fallback: opts.fallback,
         }
     }
 }
@@ -83,10 +142,30 @@ pub enum CompileError {
         /// The configured limit.
         limit: usize,
     },
-    /// The linear solver failed.
+    /// The linear solver failed (after every rung permitted by the
+    /// [`FallbackPolicy`] was tried).
     Solver(LinalgError),
     /// A loop guard compiled to a probabilistic diagram.
     ProbabilisticGuard,
+    /// The compile's [`Budget`] cancellation token fired.
+    Cancelled,
+    /// The compile ran past its [`Budget`] wall-clock deadline.
+    DeadlineExceeded,
+    /// A [`Budget`] table-size ceiling was exceeded.
+    ResourceExhausted {
+        /// Which gauge tripped (`"live nodes"` or `"dist entries"`).
+        resource: &'static str,
+        /// The gauge value at the checkpoint.
+        used: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// A parallel-backend worker or merge thread panicked; the panic was
+    /// contained and its siblings cancelled.
+    WorkerPanicked {
+        /// The panic payload, when it was a string (else a placeholder).
+        payload: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -102,6 +181,19 @@ impl fmt::Display for CompileError {
             CompileError::Solver(e) => write!(f, "linear solver failed: {e}"),
             CompileError::ProbabilisticGuard => {
                 write!(f, "loop guard is probabilistic")
+            }
+            CompileError::Cancelled => write!(f, "compile cancelled"),
+            CompileError::DeadlineExceeded => write!(f, "compile deadline exceeded"),
+            CompileError::ResourceExhausted {
+                resource,
+                used,
+                limit,
+            } => write!(
+                f,
+                "resource budget exhausted: {used} {resource} > limit {limit}"
+            ),
+            CompileError::WorkerPanicked { payload } => {
+                write!(f, "parallel worker panicked: {payload}")
             }
         }
     }
@@ -173,48 +265,67 @@ impl Manager {
         if let Some(hit) = self.while_cache_lookup(guard, body, &key) {
             return Ok(hit);
         }
+        let _gov = self.govern(&opts.budget);
         let result = loops::compile_while(self, guard, body, opts)?;
+        // A governed abort during the rebuild surfaces as an Ok-but-
+        // truncated diagram; the trip check here keeps it out of the
+        // cache and converts it to the typed error.
+        self.governed_error()?;
         self.while_cache_store(guard, body, key, result);
         Ok(result)
     }
 
     /// Compiles a guarded program with explicit options.
     ///
+    /// Governed by `opts.budget` for the duration of the call: a fired
+    /// cancellation token, an expired deadline or a table-size ceiling
+    /// surfaces as the matching [`CompileError`] variant, and the manager
+    /// remains fully reusable afterwards.
+    ///
     /// # Errors
     ///
     /// See [`CompileError`].
     pub fn compile_with(&self, p: &Prog, opts: &CompileOptions) -> Result<Fdd, CompileError> {
+        let _gov = self.govern(&opts.budget);
+        let result = self.compile_ast(p, opts);
+        // Catch a trip that produced a truncated Ok diagram.
+        self.governed_error()?;
+        result
+    }
+
+    fn compile_ast(&self, p: &Prog, opts: &CompileOptions) -> Result<Fdd, CompileError> {
+        self.governed_error()?;
         match p {
             Prog::Filter(t) => Ok(self.compile_pred(t)),
             Prog::Assign(f, v) => Ok(self.leaf(ActionDist::dirac(Action::assign(*f, *v)))),
             Prog::Union(..) => Err(CompileError::Unguarded("&")),
             Prog::Star(..) => Err(CompileError::Unguarded("*")),
             Prog::Seq(a, b) => {
-                let fa = self.compile_with(a, opts)?;
-                let fb = self.compile_with(b, opts)?;
+                let fa = self.compile_ast(a, opts)?;
+                let fb = self.compile_ast(b, opts)?;
                 Ok(self.seq(fa, fb))
             }
             Prog::Choice(branches) => {
                 let mut compiled = Vec::with_capacity(branches.len());
                 for (q, r) in branches.iter() {
-                    compiled.push((self.compile_with(q, opts)?, r.clone()));
+                    compiled.push((self.compile_ast(q, opts)?, r.clone()));
                 }
                 Ok(self.convex(&compiled))
             }
             Prog::If(t, a, b) => {
                 let ft = self.compile_pred(t);
-                let fa = self.compile_with(a, opts)?;
-                let fb = self.compile_with(b, opts)?;
+                let fa = self.compile_ast(a, opts)?;
+                let fb = self.compile_ast(b, opts)?;
                 Ok(self.ite(ft, fa, fb))
             }
             Prog::While(t, body) => {
                 let guard = self.compile_pred(t);
-                let fbody = self.compile_with(body, opts)?;
+                let fbody = self.compile_ast(body, opts)?;
                 self.while_loop(guard, fbody, opts)
             }
             Prog::Local(f, n, body) => {
                 let enter = self.leaf(ActionDist::dirac(Action::assign(*f, *n)));
-                let fbody = self.compile_with(body, opts)?;
+                let fbody = self.compile_ast(body, opts)?;
                 let erase = self.leaf(ActionDist::dirac(Action::assign(*f, 0)));
                 let inner = self.seq(fbody, erase);
                 Ok(self.seq(enter, inner))
@@ -226,8 +337,10 @@ impl Manager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CancelToken;
     use mcnetkat_core::{Field, Packet};
     use mcnetkat_num::Ratio;
+    use std::time::Duration;
 
     fn fields() -> (Field, Field) {
         (Field::named("cmp_f"), Field::named("cmp_g"))
@@ -362,6 +475,12 @@ mod tests {
                 backend: SolverBackend::GaussSeidel,
                 ..CompileOptions::default()
             },
+            // The fallback policy steers which solver can produce the
+            // rows, so it keys the cache too.
+            CompileOptions {
+                fallback: FallbackPolicy::strict(),
+                ..CompileOptions::default()
+            },
         ];
         let mut results = Vec::new();
         for (i, opts) in configs.iter().enumerate() {
@@ -387,6 +506,104 @@ mod tests {
             (s.hits, s.misses),
             (configs.len() as u64, configs.len() as u64)
         );
+    }
+
+    /// A moderately wide program: chained probabilistic choices over
+    /// several fields, enough diagram work for a governor to interrupt.
+    fn governed_workload(tag: &str) -> Prog {
+        Prog::seq_all((0..6).map(|i| {
+            let f = Field::named(&format!("cmp_gov_{tag}_{i}"));
+            Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 3), Prog::assign(f, 2))
+        }))
+    }
+
+    #[test]
+    fn governed_ceiling_aborts_and_manager_recovers() {
+        let mgr = Manager::new();
+        let prog = governed_workload("ceil");
+        let opts = CompileOptions {
+            budget: Budget::default().with_max_live_nodes(1),
+            ..CompileOptions::default()
+        };
+        match mgr.compile_with(&prog, &opts) {
+            Err(CompileError::ResourceExhausted {
+                resource, limit, ..
+            }) => {
+                assert_eq!(resource, "live nodes");
+                assert_eq!(limit, 1);
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        // The abort left only well-formed nodes behind…
+        #[cfg(feature = "audit")]
+        mgr.audit().assert_clean();
+        // …and the same manager completes the same compile on retry.
+        let retried = mgr.compile(&prog).unwrap();
+        let fresh = Manager::new().compile(&prog);
+        assert!(fresh.is_ok());
+        let pk = Packet::new();
+        assert_eq!(mgr.prob_delivery(retried, &pk), Ratio::one());
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_immediately() {
+        let mgr = Manager::new();
+        let prog = governed_workload("tok");
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = CompileOptions {
+            budget: Budget::default().with_cancel(token),
+            ..CompileOptions::default()
+        };
+        assert!(matches!(
+            mgr.compile_with(&prog, &opts),
+            Err(CompileError::Cancelled)
+        ));
+        #[cfg(feature = "audit")]
+        mgr.audit().assert_clean();
+        mgr.compile(&prog).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_aborts_and_is_not_sticky() {
+        let mgr = Manager::new();
+        let prog = governed_workload("dl");
+        let opts = CompileOptions {
+            budget: Budget::default().with_deadline(Duration::ZERO),
+            ..CompileOptions::default()
+        };
+        assert!(matches!(
+            mgr.compile_with(&prog, &opts),
+            Err(CompileError::DeadlineExceeded)
+        ));
+        // Dropping the governor guard cleared the latched trip: a new
+        // governed compile with a sane budget runs to completion.
+        let sane = CompileOptions {
+            budget: Budget::default().with_deadline(Duration::from_secs(600)),
+            ..CompileOptions::default()
+        };
+        mgr.compile_with(&prog, &sane).unwrap();
+    }
+
+    #[test]
+    fn governed_aborts_never_poison_the_while_cache() {
+        let mgr = Manager::new();
+        let f = Field::named("cmp_gov_wc");
+        let body = Prog::choice2(Prog::assign(f, 1), Ratio::new(1, 2), Prog::skip());
+        let prog = Prog::while_(Pred::test(f, 0), body);
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = CompileOptions {
+            budget: Budget::default().with_cancel(token),
+            ..CompileOptions::default()
+        };
+        assert!(mgr.compile_with(&prog, &opts).is_err());
+        let s = mgr.while_cache_stats();
+        assert_eq!(s.entries, 0, "aborted loop must not be memoised");
+        // The retry — same options key, no cancellation — misses, solves,
+        // and produces the exact closed form.
+        let fdd = mgr.compile(&prog).unwrap();
+        assert_eq!(mgr.prob_delivery(fdd, &Packet::new()), Ratio::one());
     }
 
     #[test]

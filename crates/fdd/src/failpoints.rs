@@ -1,0 +1,182 @@
+//! Deterministic fault injection for robustness tests.
+//!
+//! Only compiled under the `failpoints` feature (asserted off in release
+//! benches, mirroring [`crate::AUDIT_ENABLED`]). The compiler registers
+//! *named sites* at the seams where real-world failures strike — loop-state
+//! interning, the lumping partition, the structured solver, parallel
+//! workers and merge rounds — and a test arms a site with a
+//! [`FaultAction`] that fires deterministically on the Nth hit:
+//!
+//! ```text
+//! site                     seam                              sensible actions
+//! fdd::intern              loop-state interning              Panic, Delay, Cancel
+//! fdd::loops::solve        any sparse solver rung            Singular, Panic, Delay, Cancel
+//! linalg::lump             the lumping partition rung        Singular, Panic, Delay, Cancel
+//! net::parallel::worker    per-switch worker closure         Panic, Delay, Cancel
+//! net::parallel::merge     tree-reduce merge rounds          Panic, Delay, Cancel
+//! ```
+//!
+//! (`linalg::lump` is a *logical* name: the registry lives here because
+//! `mcnetkat-linalg` sits below this crate, so `fdd::loops` checks the
+//! site just before entering the lumped solver rung.)
+//!
+//! The registry is process-global, so tests that arm faults must
+//! serialize (the harness uses a static mutex) and clear the registry
+//! between cases with [`clear_all`].
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed site does when it fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with this message — exercises panic containment.
+    Panic(String),
+    /// Report a singular linear system — exercises the solver fallback
+    /// chain. Only meaningful at solver sites; elsewhere it surfaces as
+    /// the site's generic injected failure.
+    Singular,
+    /// Sleep this long before continuing — exercises deadline budgets.
+    Delay(Duration),
+    /// Behave as though the compile's [`crate::CancelToken`] fired.
+    Cancel,
+}
+
+/// What [`check`] tells its caller to do (after any [`FaultAction::Panic`]
+/// or [`FaultAction::Delay`] has already been acted on in place).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Surface a singular-system solver error.
+    Singular,
+    /// Surface [`crate::CompileError::Cancelled`].
+    Cancelled,
+}
+
+#[derive(Clone, Debug)]
+struct Site {
+    action: FaultAction,
+    /// 1-based hit count on which the fault first fires.
+    trigger_at: u64,
+    /// How many consecutive hits fire, starting at `trigger_at`. Lets a
+    /// test fail *both* retries of a fallback rung to force the next one.
+    times: u64,
+    hits: u64,
+    fired: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Site>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arms `site` to perform `action` on its `nth` hit (1-based) and the
+/// `times - 1` hits after it. Re-arming a site resets its counters.
+pub fn configure(site: &str, action: FaultAction, nth: u64, times: u64) {
+    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    reg.insert(
+        site.to_string(),
+        Site {
+            action,
+            trigger_at: nth.max(1),
+            times: times.max(1),
+            hits: 0,
+            fired: 0,
+        },
+    );
+}
+
+/// Disarms every site and zeroes all counters. Call between test cases.
+pub fn clear_all() {
+    registry()
+        .lock()
+        .expect("failpoint registry poisoned")
+        .clear();
+}
+
+/// How many times `site` has been hit since it was configured (0 if the
+/// site was never armed). Lets tests assert a seam was actually reached.
+pub fn hits(site: &str) -> u64 {
+    registry()
+        .lock()
+        .expect("failpoint registry poisoned")
+        .get(site)
+        .map_or(0, |s| s.hits)
+}
+
+/// How many times `site` has fired its action.
+pub fn fired(site: &str) -> u64 {
+    registry()
+        .lock()
+        .expect("failpoint registry poisoned")
+        .get(site)
+        .map_or(0, |s| s.fired)
+}
+
+/// The compiler-side checkpoint: records a hit on `site` and, when armed
+/// and due, performs the fault. `Panic` panics and `Delay` sleeps right
+/// here (with the registry lock released); `Singular` and `Cancel` are
+/// returned for the caller to map onto its own error type.
+pub fn check(site: &str) -> Option<InjectedFault> {
+    let action = {
+        let mut reg = registry().lock().expect("failpoint registry poisoned");
+        let s = reg.get_mut(site)?;
+        s.hits += 1;
+        let due = s.hits >= s.trigger_at && s.hits < s.trigger_at + s.times;
+        if !due {
+            return None;
+        }
+        s.fired += 1;
+        s.action.clone()
+    };
+    match action {
+        FaultAction::Panic(msg) => panic!("injected fault at `{site}`: {msg}"),
+        FaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            None
+        }
+        FaultAction::Singular => Some(InjectedFault::Singular),
+        FaultAction::Cancel => Some(InjectedFault::Cancelled),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and other tests in this binary may
+    // also use it, so each test here owns uniquely named sites.
+
+    #[test]
+    fn fires_on_nth_hit_for_times_hits() {
+        clear_all();
+        configure("test::nth", FaultAction::Singular, 2, 2);
+        assert_eq!(check("test::nth"), None);
+        assert_eq!(check("test::nth"), Some(InjectedFault::Singular));
+        assert_eq!(check("test::nth"), Some(InjectedFault::Singular));
+        assert_eq!(check("test::nth"), None);
+        assert_eq!(hits("test::nth"), 4);
+        assert_eq!(fired("test::nth"), 2);
+    }
+
+    #[test]
+    fn unarmed_sites_count_nothing() {
+        assert_eq!(check("test::unarmed"), None);
+        assert_eq!(hits("test::unarmed"), 0);
+    }
+
+    #[test]
+    fn delay_fires_in_place_and_reports_no_fault() {
+        clear_all();
+        configure(
+            "test::delay",
+            FaultAction::Delay(Duration::from_millis(1)),
+            1,
+            1,
+        );
+        let start = std::time::Instant::now();
+        assert_eq!(check("test::delay"), None);
+        assert!(start.elapsed() >= Duration::from_millis(1));
+        assert_eq!(fired("test::delay"), 1);
+    }
+}

@@ -33,8 +33,11 @@
 #![forbid(unsafe_code)]
 
 mod action;
+mod budget;
 mod compile;
 mod export;
+#[cfg(feature = "failpoints")]
+pub mod failpoints;
 mod loops;
 mod manager;
 mod matrix;
@@ -42,15 +45,20 @@ mod query;
 mod sympkt;
 
 pub use action::{Action, ActionDist};
-pub use compile::{CompileError, CompileOptions};
+pub use budget::{Budget, CancelToken};
+pub use compile::{CompileError, CompileOptions, FallbackPolicy};
 pub use export::FddExport;
 pub(crate) use manager::Node;
 #[cfg(feature = "audit")]
 pub use manager::{AuditReport, AuditViolation};
 pub use manager::{
-    Fdd, LoopSolveStats, Manager, OpCacheEntry, OpCacheStats, ScratchField, WhileCacheStats,
+    Fdd, GovernorGuard, LoopSolveStats, Manager, OpCacheEntry, OpCacheStats, ScratchField,
+    SolveReport, WhileCacheStats,
 };
 pub use matrix::BigStepMatrix;
+// Re-exported because `CompileError::Solver` carries it: downstream
+// crates can match on solver failures without a direct linalg dependency.
+pub use mcnetkat_linalg::LinalgError;
 pub use query::{OutputDist, SymOutputDist};
 pub use sympkt::{step, Domain, SymPkt};
 
@@ -60,3 +68,11 @@ pub use sympkt::{step, Domain, SymPkt};
 /// compile hooks). Release benches assert this is `false` so the auditor
 /// can never silently tax a measured hot path.
 pub const AUDIT_ENABLED: bool = cfg!(feature = "audit");
+
+/// Whether this build was compiled with the `failpoints` feature (and thus
+/// carries the deterministic fault-injection registry in the `failpoints`
+/// module — which only exists under the feature, so no intra-doc link).
+/// Release benches assert this is `false`, exactly like
+/// [`AUDIT_ENABLED`], so injected faults and their bookkeeping can never
+/// leak into a measured hot path.
+pub const FAILPOINTS_ENABLED: bool = cfg!(feature = "failpoints");

@@ -14,14 +14,164 @@
 //! values plus a wildcard; exploration then closes the set under the body's
 //! modifications.
 
-use crate::{Action, ActionDist, CompileError, CompileOptions, Fdd, Manager, SymPkt};
+use crate::{Action, ActionDist, Budget, CompileError, CompileOptions, Fdd, Manager, SymPkt};
 use mcnetkat_core::{Field, Value};
-use mcnetkat_linalg::{AbsorbingChain, SolverBackend};
+use mcnetkat_linalg::{AbsorbingChain, LinalgError, SolverBackend};
 use mcnetkat_num::Ratio;
 use std::collections::HashMap;
 
 /// Index of the distinguished `∅` (dropped) state.
 const DROP_STATE: usize = 0;
+
+/// Polls a named failpoint, translating an injected fault either into a
+/// solver error (which joins the fallback chain like a real one) or a
+/// budget-style abort (which propagates). Compiles to `Ok(None)` without
+/// the `failpoints` feature.
+fn rung_failpoint(site: &str) -> Result<Option<LinalgError>, CompileError> {
+    #[cfg(feature = "failpoints")]
+    {
+        use crate::failpoints::{check, InjectedFault};
+        match check(site) {
+            None => Ok(None),
+            Some(InjectedFault::Singular) => Ok(Some(LinalgError::Singular(0))),
+            Some(InjectedFault::Cancelled) => Err(CompileError::Cancelled),
+        }
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = site;
+        Ok(None)
+    }
+}
+
+/// The outcome of one successful absorbing-chain solve, whichever rung
+/// produced it: sparse absorption rows indexed by transient rank, plus
+/// the structure gauges for [`crate::LoopSolveStats`].
+struct SolveOutcome {
+    rows: Vec<Vec<(usize, Ratio)>>,
+    blocks: usize,
+    sccs: usize,
+}
+
+/// Converts dense `transient rank × absorbing rank` exact rows into the
+/// sparse form the rest of the pipeline consumes.
+fn sparsify(dense: Vec<Vec<Ratio>>) -> Vec<Vec<(usize, Ratio)>> {
+    dense
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .enumerate()
+                .filter(|(_, p)| !p.is_zero())
+                .collect()
+        })
+        .collect()
+}
+
+/// One sparse-SCC solver rung. The outer `Result` carries budget aborts
+/// (propagate immediately); the inner one carries solver failures (the
+/// fallback chain decides what happens next).
+fn sparse_rung(
+    chain: &AbsorbingChain,
+    nt: usize,
+    lumping: bool,
+    budget: &Budget,
+) -> Result<Result<SolveOutcome, LinalgError>, CompileError> {
+    if let Some(e) = rung_failpoint("fdd::loops::solve")? {
+        return Ok(Err(e));
+    }
+    if lumping {
+        // `linalg::lump` is a logical site name: the registry lives in
+        // this crate (linalg sits below it), so the lumped rung's fault
+        // is injected here, just before the partition refinement runs.
+        if let Some(e) = rung_failpoint("linalg::lump")? {
+            return Ok(Err(e));
+        }
+    }
+    let mut stop = || budget.check_external().is_err();
+    match chain.solve_sparse_scc_interruptible(lumping, &mut stop) {
+        Ok(sol) => Ok(Ok(SolveOutcome {
+            rows: (0..nt).map(|t| sol.sparse_row(t).to_vec()).collect(),
+            blocks: sol.lumped_blocks(),
+            sccs: sol.scc_count(),
+        })),
+        // The solver stopped because our budget check fired: re-evaluate
+        // the budget for the typed error. Deadlines stay expired and
+        // tokens stay cancelled, so the fallback arm is unreachable.
+        Err(LinalgError::Interrupted) => Err(budget
+            .check_external()
+            .err()
+            .unwrap_or(CompileError::DeadlineExceeded)),
+        Err(e) => Ok(Err(e)),
+    }
+}
+
+/// Runs the declarative solver fallback chain for the `SparseScc`
+/// backend: (1) sparse SCC with the configured lumping, (2) the same
+/// solve without lumping, (3) the dense exact reference. Which rungs are
+/// permitted comes from [`crate::FallbackPolicy`]; every transition is
+/// recorded on the manager's [`crate::SolveReport`]. All three rungs are
+/// exact, so a fallback changes how the answer is computed, never the
+/// answer.
+fn solve_with_fallback(
+    mgr: &Manager,
+    chain: &AbsorbingChain,
+    nt: usize,
+    opts: &CompileOptions,
+) -> Result<SolveOutcome, CompileError> {
+    let policy = opts.fallback;
+    let mut events: Vec<String> = Vec::new();
+    let mut retried = false;
+
+    let mut last = match sparse_rung(chain, nt, opts.lumping, &opts.budget)? {
+        Ok(out) => {
+            mgr.record_solve_rungs(false, false, false, events);
+            return Ok(out);
+        }
+        Err(e) => e,
+    };
+    events.push(format!(
+        "sparse SCC solve (lumping={}) failed: {last}",
+        opts.lumping
+    ));
+
+    if opts.lumping && policy.retry_without_lumping {
+        retried = true;
+        match sparse_rung(chain, nt, false, &opts.budget)? {
+            Ok(out) => {
+                events.push("retry without lumping succeeded".to_string());
+                mgr.record_solve_rungs(true, false, false, events);
+                return Ok(out);
+            }
+            Err(e) => {
+                events.push(format!("retry without lumping failed: {e}"));
+                last = e;
+            }
+        }
+    }
+
+    if policy.dense_exact {
+        opts.budget.check_external()?;
+        match chain.solve_exact() {
+            Ok(rows) => {
+                events.push("dense exact reference succeeded".to_string());
+                mgr.record_solve_rungs(retried, true, false, events);
+                return Ok(SolveOutcome {
+                    rows: sparsify(rows),
+                    blocks: nt,
+                    sccs: 0,
+                });
+            }
+            Err(e) => {
+                events.push(format!("dense exact reference failed: {e}"));
+                last = e;
+            }
+        }
+    }
+
+    events.push("fallback chain exhausted".to_string());
+    mgr.record_solve_rungs(retried, policy.dense_exact, true, events);
+    Err(CompileError::Solver(last))
+}
 
 /// Compiles `while guard do body` given compiled guard and body FDDs.
 ///
@@ -53,15 +203,26 @@ pub fn compile_while(
     //    between evaluations would let the state set overshoot the limit
     //    arbitrarily far before the next check.
     let limit = opts.state_limit;
+    let budget = &opts.budget;
     let mut index: HashMap<SymPkt, usize> = HashMap::new();
     let mut states: Vec<SymPkt> = Vec::new();
     let mut worklist: Vec<usize> = Vec::new();
+    let mut polls: u32 = 0;
     let mut intern = |pk: SymPkt,
                       states: &mut Vec<SymPkt>,
                       worklist: &mut Vec<usize>|
      -> Result<usize, CompileError> {
+        if let Some(e) = rung_failpoint("fdd::intern")? {
+            return Err(CompileError::Solver(e));
+        }
         if let Some(&ix) = index.get(&pk) {
             return Ok(ix);
+        }
+        // Budget checkpoint on state discovery, amortised so unlimited
+        // budgets cost a counter increment per new state.
+        polls = polls.wrapping_add(1);
+        if polls & 0x3f == 0 {
+            budget.check_external()?;
         }
         // `states.len() + 2` counts DROP_STATE plus the state about to be
         // interned.
@@ -181,42 +342,98 @@ pub fn compile_while(
     // Absorption probabilities as *sparse* exact rows, `(absorbing rank,
     // probability)` with zero entries never materialised. The SparseScc
     // backend is exact at every size (SCC-decomposed back-substitution
-    // over rationals), so it neither consults `exact_threshold` nor snaps.
-    // The float backends keep the old ladder: small chains re-solved
-    // exactly, larger ones solved in floats and snapped (the paper
-    // likewise trusts the 64-bit-float solver).
+    // over rationals), so it neither consults `exact_threshold` nor snaps
+    // — and it degrades through the `FallbackPolicy` rungs instead of
+    // failing outright. The float backends keep the old ladder: small
+    // chains re-solved exactly, larger ones solved in floats and snapped
+    // (the paper likewise trusts the 64-bit-float solver), with the dense
+    // exact reference as their policy-gated fallback.
     let absorption: Vec<Vec<(usize, Ratio)>> = if opts.backend == SolverBackend::SparseScc {
-        let sol = chain.solve_sparse_scc(opts.lumping)?;
-        mgr.record_loop_solve(nt, sol.lumped_blocks(), sol.scc_count());
-        (0..nt).map(|t| sol.sparse_row(t).to_vec()).collect()
+        let out = solve_with_fallback(mgr, &chain, nt, opts)?;
+        mgr.record_loop_solve(nt, out.blocks, out.sccs);
+        out.rows
     } else if nt <= opts.exact_threshold {
-        mgr.record_loop_solve(nt, nt, 0);
-        chain
-            .solve_exact()?
-            .into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .enumerate()
-                    .filter(|(_, p)| !p.is_zero())
-                    .collect()
-            })
-            .collect()
+        // Dense exact *is* the primary rung here; there is nothing left
+        // to fall back to.
+        match chain.solve_exact() {
+            Ok(rows) => {
+                mgr.record_loop_solve(nt, nt, 0);
+                mgr.record_solve_rungs(false, false, false, Vec::new());
+                sparsify(rows)
+            }
+            Err(e) => {
+                mgr.record_solve_rungs(
+                    false,
+                    false,
+                    true,
+                    vec![format!("dense exact solve failed: {e}")],
+                );
+                return Err(e.into());
+            }
+        }
     } else {
-        mgr.record_loop_solve(nt, nt, 0);
-        let solution = chain.solve(opts.backend)?;
-        (0..n)
-            .filter(|&s| !chain.is_absorbing(s))
-            .map(|s| {
-                absorbing_ids
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(a_rank, &a)| {
-                        let p = snap_probability(solution.prob(s, a));
-                        (!p.is_zero()).then_some((a_rank, p))
+        match chain.solve(opts.backend) {
+            Ok(solution) => {
+                mgr.record_loop_solve(nt, nt, 0);
+                mgr.record_solve_rungs(false, false, false, Vec::new());
+                (0..n)
+                    .filter(|&s| !chain.is_absorbing(s))
+                    .map(|s| {
+                        absorbing_ids
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(a_rank, &a)| {
+                                let p = snap_probability(solution.prob(s, a));
+                                (!p.is_zero()).then_some((a_rank, p))
+                            })
+                            .collect()
                     })
                     .collect()
-            })
-            .collect()
+            }
+            Err(e) if opts.fallback.dense_exact => {
+                // A float backend failed (no convergence, numerically
+                // singular pivot, …): the dense exact reference is the
+                // last rung for these backends too.
+                opts.budget.check_external()?;
+                match chain.solve_exact() {
+                    Ok(rows) => {
+                        mgr.record_solve_rungs(
+                            false,
+                            true,
+                            false,
+                            vec![
+                                format!("float backend {:?} failed: {e}", opts.backend),
+                                "dense exact reference succeeded".to_string(),
+                            ],
+                        );
+                        mgr.record_loop_solve(nt, nt, 0);
+                        sparsify(rows)
+                    }
+                    Err(e2) => {
+                        mgr.record_solve_rungs(
+                            false,
+                            true,
+                            true,
+                            vec![
+                                format!("float backend {:?} failed: {e}", opts.backend),
+                                format!("dense exact reference failed: {e2}"),
+                                "fallback chain exhausted".to_string(),
+                            ],
+                        );
+                        return Err(e2.into());
+                    }
+                }
+            }
+            Err(e) => {
+                mgr.record_solve_rungs(
+                    false,
+                    false,
+                    true,
+                    vec![format!("float backend {:?} failed: {e}", opts.backend)],
+                );
+                return Err(e.into());
+            }
+        }
     };
 
     // 5. Build the leaf distribution for each input class.

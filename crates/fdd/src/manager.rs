@@ -26,7 +26,7 @@
 //! lookup.
 
 use crate::compile::OptsKey;
-use crate::{Action, ActionDist, Domain, SymPkt};
+use crate::{Action, ActionDist, Budget, CompileError, Domain, SymPkt};
 use fxhash::FxHashMap;
 use mcnetkat_core::{Field, Packet, Value};
 use mcnetkat_num::Ratio;
@@ -164,6 +164,29 @@ struct Inner {
     while_cache: Cache<(Fdd, Fdd, OptsKey), Fdd>,
     /// Cumulative absorbing-chain solve gauges (see `LoopSolveStats`).
     loop_stats: LoopSolveStats,
+    /// Cumulative solver fallback-rung record (see `SolveReport`).
+    solve_report: SolveReport,
+    /// The installed resource governor, present only while a governed
+    /// compile is in flight (see `Manager::govern`).
+    governor: Option<Governor>,
+}
+
+/// The state of one governed compile: the budget under enforcement, a
+/// poll counter that amortises the clock read, a refcount for nested
+/// `Manager::govern` installs (the outermost budget wins), and the
+/// latched abort error once a limit trips.
+///
+/// After a trip, recursive ops short-circuit to the fail leaf and skip
+/// all op-cache inserts: the node table only ever receives well-formed
+/// canonical nodes (so audits stay clean), while the memo tables never
+/// record a truncated result (so a later retry recomputes honestly).
+/// The truncated Ok results themselves never escape — every fallible
+/// seam re-checks `Manager::governed_error` before returning.
+struct Governor {
+    budget: Budget,
+    depth: u32,
+    polls: u32,
+    tripped: Option<CompileError>,
 }
 
 impl Default for Inner {
@@ -192,6 +215,8 @@ impl Default for Inner {
             dist_then_cache: Cache::default(),
             while_cache: Cache::default(),
             loop_stats: LoopSolveStats::default(),
+            solve_report: SolveReport::default(),
+            governor: None,
         }
     }
 }
@@ -215,6 +240,42 @@ pub struct LoopSolveStats {
     pub sccs: u64,
     /// Largest single chain solved (transient states).
     pub max_transient: usize,
+    /// Solves that needed a no-lumping retry (fallback rung 2; see
+    /// [`crate::FallbackPolicy`]).
+    pub fallback_retries: u64,
+    /// Solves that fell back to the dense exact reference (rung 3).
+    pub dense_fallbacks: u64,
+}
+
+/// Cumulative record of which loop-solver fallback rungs fired and why
+/// (see [`crate::FallbackPolicy`] for the rung order).
+///
+/// Returned by [`Manager::solve_report`]; `perf_profile` dumps the
+/// counters into `BENCH_opcache.json` so a silent degradation to the
+/// dense solver shows up in perf artifacts rather than hiding inside a
+/// green timing number.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolveReport {
+    /// Solves answered by the first-choice solver, no fallback needed.
+    pub primary: u64,
+    /// Solves that retried without lumping (rung 2) after the lumped
+    /// sparse solve failed.
+    pub lumping_retries: u64,
+    /// Solves that reached the dense exact reference solver (rung 3).
+    pub dense_fallbacks: u64,
+    /// Solves where every rung the policy permitted failed — the error
+    /// the caller saw is the last rung's.
+    pub exhausted: u64,
+    /// Bounded log (most recent solves dropped once full) of why each
+    /// fallback rung fired.
+    pub events: Vec<String>,
+}
+
+impl SolveReport {
+    /// Total solves that degraded past the first-choice solver.
+    pub fn total_fallbacks(&self) -> u64 {
+        self.lumping_retries + self.dense_fallbacks
+    }
 }
 
 /// A scratch field to existentially eliminate from a diagram, together
@@ -401,6 +462,32 @@ fn branch_order_violation(
         }
     }
     None
+}
+
+/// Explains how a leaf distribution breaks `ite`'s deterministic-guard
+/// contract (every guard leaf must be exactly pass or drop), or `None`
+/// when the leaf is a valid guard. The same condition
+/// [`Manager::is_predicate`] checks structurally over whole diagrams —
+/// named here, like [`branch_order_violation`], so the construction-time
+/// panic and the diagram-level audits state one rule, not two drifting
+/// copies.
+fn guard_leaf_violation(d: &ActionDist) -> Option<String> {
+    if d.is_skip() || d.is_drop() {
+        None
+    } else {
+        Some(format!(
+            "guard leaf is not deterministic pass/drop: {d} — \
+             the guard diagram is probabilistic"
+        ))
+    }
+}
+
+/// Aborts on a broken structural invariant with a uniform message shape.
+/// Every named invariant helper (`branch_order_violation`,
+/// `guard_leaf_violation`) panics through here, so grepping for
+/// "FDD invariant" finds every construction-time invariant failure.
+fn invariant_panic(invariant: &str, why: &str) -> ! {
+    panic!("FDD invariant `{invariant}` violated: {why}")
 }
 
 impl Manager {
@@ -741,6 +828,119 @@ impl Manager {
         s.lumped_blocks += blocks as u64;
         s.sccs += sccs as u64;
         s.max_transient = s.max_transient.max(transient);
+    }
+
+    /// Cumulative solver fallback record (see [`SolveReport`]).
+    pub fn solve_report(&self) -> SolveReport {
+        self.inner.lock().solve_report.clone()
+    }
+
+    /// Accumulates one loop solve's fallback outcome into the
+    /// [`SolveReport`] (and mirrors the counters into
+    /// [`LoopSolveStats`]). `events` carries one "why" line per rung that
+    /// fired; the report keeps a bounded number of them.
+    pub(crate) fn record_solve_rungs(
+        &self,
+        retried_without_lumping: bool,
+        fell_back_to_dense: bool,
+        exhausted: bool,
+        events: Vec<String>,
+    ) {
+        const MAX_EVENTS: usize = 32;
+        let mut inner = self.inner.lock();
+        let r = &mut inner.solve_report;
+        if !retried_without_lumping && !fell_back_to_dense && !exhausted {
+            r.primary += 1;
+        }
+        if retried_without_lumping {
+            r.lumping_retries += 1;
+        }
+        if fell_back_to_dense {
+            r.dense_fallbacks += 1;
+        }
+        if exhausted {
+            r.exhausted += 1;
+        }
+        for e in events {
+            if r.events.len() >= MAX_EVENTS {
+                break;
+            }
+            r.events.push(e);
+        }
+        inner.loop_stats.fallback_retries += u64::from(retried_without_lumping);
+        inner.loop_stats.dense_fallbacks += u64::from(fell_back_to_dense);
+    }
+
+    /// Installs `budget` as this manager's resource governor for the
+    /// lifetime of the returned guard. While governed, the recursive
+    /// diagram combinators poll the budget at op-cache misses; once a
+    /// limit trips they short-circuit cheaply and suppress memo inserts,
+    /// and [`Manager::governed_error`] reports the typed abort error.
+    ///
+    /// Nested installs refcount — the outermost budget wins (inner calls
+    /// with a different budget are absorbed into the outer governed
+    /// region). Dropping the outermost guard uninstalls the governor and
+    /// clears any latched trip, so the manager — whose tables only ever
+    /// received well-formed nodes — is immediately reusable, including
+    /// for a retry of the aborted compile.
+    pub fn govern(&self, budget: &Budget) -> GovernorGuard<'_> {
+        let mut inner = self.inner.lock();
+        match inner.governor.as_mut() {
+            Some(g) => g.depth += 1,
+            None => {
+                inner.governor = Some(Governor {
+                    budget: budget.clone(),
+                    depth: 1,
+                    polls: 0,
+                    tripped: None,
+                });
+            }
+        }
+        drop(inner);
+        GovernorGuard { mgr: self }
+    }
+
+    /// The installed governor's verdict: `Err` with the latched abort
+    /// error if a budget limit has tripped (evaluating the budget freshly
+    /// if no checkpoint has run recently), `Ok` otherwise — including
+    /// when no governor is installed.
+    ///
+    /// Fallible seams (program-node compiles, loop solves, per-switch
+    /// pipelines) call this before returning, so a short-circuited
+    /// diagram from a tripped compile can never escape as `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// The [`CompileError`] variant matching the tripped limit.
+    pub fn governed_error(&self) -> Result<(), CompileError> {
+        let mut inner = self.inner.lock();
+        let live_nodes = inner.nodes.len();
+        let dist_entries = inner.dist_entries;
+        if let Some(g) = inner.governor.as_mut() {
+            if let Some(e) = &g.tripped {
+                return Err(e.clone());
+            }
+            if let Some(e) = g.budget.violation(live_nodes, dist_entries) {
+                g.tripped = Some(e.clone());
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// One-off check of `budget` against this manager's current gauges,
+    /// without installing a governor — the checkpoint for call sites
+    /// outside a governed region (e.g. between parallel merge rounds).
+    ///
+    /// # Errors
+    ///
+    /// The [`CompileError`] variant matching the violated limit.
+    pub fn check_budget(&self, budget: &Budget) -> Result<(), CompileError> {
+        let inner = self.inner.lock();
+        match budget.violation(inner.nodes.len(), inner.dist_entries) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Projects write-only scratch fields out of a diagram: every
@@ -1147,7 +1347,68 @@ impl AuditReport {
     }
 }
 
+/// RAII guard returned by [`Manager::govern`]. Dropping the outermost
+/// guard uninstalls the governor and clears any latched abort, restoring
+/// the manager to its ungoverned (and fully reusable) state.
+#[must_use = "the governor is uninstalled when this guard drops"]
+pub struct GovernorGuard<'a> {
+    mgr: &'a Manager,
+}
+
+impl Drop for GovernorGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.mgr.inner.lock();
+        let uninstall = match inner.governor.as_mut() {
+            Some(g) => {
+                g.depth -= 1;
+                g.depth == 0
+            }
+            None => false,
+        };
+        if uninstall {
+            inner.governor = None;
+        }
+    }
+}
+
 impl Inner {
+    /// Governed checkpoint on op-cache miss paths. Returns `true` when
+    /// the compile is aborting — the caller short-circuits to a cheap
+    /// degenerate result (the fail leaf) so the recursion collapses in
+    /// O(stack depth). The full budget evaluation (which reads the
+    /// clock) is amortised to every 64th poll; a trip is latched, so
+    /// later checkpoints are a single branch.
+    fn gov_checkpoint(&mut self) -> bool {
+        let live_nodes = self.nodes.len();
+        let dist_entries = self.dist_entries;
+        let Some(g) = self.governor.as_mut() else {
+            return false;
+        };
+        if g.tripped.is_some() {
+            return true;
+        }
+        g.polls = g.polls.wrapping_add(1);
+        // Evaluate on the first poll (so tiny compiles still get one real
+        // check) and every 64th thereafter.
+        if g.polls & 0x3f != 1 {
+            return false;
+        }
+        if let Some(e) = g.budget.violation(live_nodes, dist_entries) {
+            g.tripped = Some(e);
+            return true;
+        }
+        false
+    }
+
+    /// Whether a governed abort is latched. Op-cache inserts are
+    /// suppressed while true: a short-circuited frame may have combined
+    /// fail-leaf placeholders, and memoising that result under the real
+    /// operands' key would poison later (retry) compiles. Results
+    /// computed *before* the trip are correct and stay cached.
+    fn gov_tripped(&self) -> bool {
+        self.governor.as_ref().is_some_and(|g| g.tripped.is_some())
+    }
+
     fn cons(&mut self, node: Node) -> Fdd {
         if let Some(id) = self.consed.get(&node) {
             return id;
@@ -1225,7 +1486,7 @@ impl Inner {
         }
         #[cfg(debug_assertions)]
         if let Some(why) = branch_order_violation(&self.nodes, field, value, hi, lo) {
-            panic!("FDD ordering violated at ({field:?}, {value}): {why}");
+            invariant_panic("branch order", &format!("at ({field:?}, {value}): {why}"));
         }
         self.cons(Node::Branch {
             field,
@@ -1387,6 +1648,9 @@ impl Inner {
         if let Some(hit) = self.restrict_eq_cache.get(&key) {
             return hit;
         }
+        if self.gov_checkpoint() {
+            return self.leaf_fail();
+        }
         let result = if field < f {
             let nh = self.restrict_eq(hi, f, v);
             let nl = self.restrict_eq(lo, f, v);
@@ -1396,8 +1660,10 @@ impl Inner {
         } else {
             self.restrict_eq(lo, f, v)
         };
-        let cap = self.cache_capacity;
-        self.restrict_eq_cache.insert(key, result, cap);
+        if !self.gov_tripped() {
+            let cap = self.cache_capacity;
+            self.restrict_eq_cache.insert(key, result, cap);
+        }
         result
     }
 
@@ -1418,6 +1684,9 @@ impl Inner {
         if let Some(hit) = self.restrict_ne_cache.get(&key) {
             return hit;
         }
+        if self.gov_checkpoint() {
+            return self.leaf_fail();
+        }
         let result = if field < f {
             let nh = self.restrict_ne(hi, f, v);
             let nl = self.restrict_ne(lo, f, v);
@@ -1429,8 +1698,10 @@ impl Inner {
             let nl = self.restrict_ne(lo, f, v);
             self.mk_branch(field, value, hi, nl)
         };
-        let cap = self.cache_capacity;
-        self.restrict_ne_cache.insert(key, result, cap);
+        if !self.gov_tripped() {
+            let cap = self.cache_capacity;
+            self.restrict_ne_cache.insert(key, result, cap);
+        }
         result
     }
 
@@ -1441,6 +1712,9 @@ impl Inner {
         let key = (p, r.clone());
         if let Some(hit) = self.scale_cache.get(&key) {
             return hit;
+        }
+        if self.gov_checkpoint() {
+            return self.leaf_fail();
         }
         let result = match self.nodes[p.0 as usize] {
             Node::Leaf(did) => {
@@ -1458,8 +1732,10 @@ impl Inner {
                 self.mk_branch(field, value, nh, nl)
             }
         };
-        let cap = self.cache_capacity;
-        self.scale_cache.insert(key, result, cap);
+        if !self.gov_tripped() {
+            let cap = self.cache_capacity;
+            self.scale_cache.insert(key, result, cap);
+        }
         result
     }
 
@@ -1467,6 +1743,9 @@ impl Inner {
         let key = if p <= q { (p, q) } else { (q, p) };
         if let Some(hit) = self.sum_cache.get(&key) {
             return hit;
+        }
+        if self.gov_checkpoint() {
+            return self.leaf_fail();
         }
         let np = self.nodes[p.0 as usize];
         let nq = self.nodes[q.0 as usize];
@@ -1491,8 +1770,10 @@ impl Inner {
                 self.mk_branch(f, v, hi, lo)
             }
         };
-        let cap = self.cache_capacity;
-        self.sum_cache.insert(key, result, cap);
+        if !self.gov_tripped() {
+            let cap = self.cache_capacity;
+            self.sum_cache.insert(key, result, cap);
+        }
         result
     }
 
@@ -1500,6 +1781,9 @@ impl Inner {
         let key = (t, p, q);
         if let Some(hit) = self.ite_cache.get(&key) {
             return hit;
+        }
+        if self.gov_checkpoint() {
+            return self.leaf_fail();
         }
         let nt = self.nodes[t.0 as usize];
         let result = match nt {
@@ -1510,7 +1794,9 @@ impl Inner {
                 } else if d.is_drop() {
                     q
                 } else {
-                    panic!("ite guard leaf is not deterministic: {d}")
+                    let why = guard_leaf_violation(d)
+                        .expect("leaf is neither pass nor drop, so the helper must explain");
+                    invariant_panic("ite deterministic guard", &why)
                 }
             }
             Node::Branch { .. } => {
@@ -1529,8 +1815,10 @@ impl Inner {
                 self.mk_branch(f, v, hi, lo)
             }
         };
-        let cap = self.cache_capacity;
-        self.ite_cache.insert(key, result, cap);
+        if !self.gov_tripped() {
+            let cap = self.cache_capacity;
+            self.ite_cache.insert(key, result, cap);
+        }
         result
     }
 
@@ -1558,6 +1846,9 @@ impl Inner {
         if let Some(hit) = self.prepend_cache.get(&key) {
             return hit;
         }
+        if self.gov_checkpoint() {
+            return self.leaf_fail();
+        }
         let result = match self.nodes[q.0 as usize] {
             Node::Leaf(did) => {
                 let ndid = self.dist_then(aid, did);
@@ -1574,8 +1865,10 @@ impl Inner {
                 self.mk_branch(field, value, nh, nl)
             }
         };
-        let cap = self.cache_capacity;
-        self.prepend_cache.insert(key, result, cap);
+        if !self.gov_tripped() {
+            let cap = self.cache_capacity;
+            self.prepend_cache.insert(key, result, cap);
+        }
         result
     }
 
@@ -1583,6 +1876,9 @@ impl Inner {
         let key = (p, q);
         if let Some(hit) = self.seq_cache.get(&key) {
             return hit;
+        }
+        if self.gov_checkpoint() {
+            return self.leaf_fail();
         }
         let result = match self.nodes[p.0 as usize] {
             Node::Leaf(did) => {
@@ -1614,8 +1910,10 @@ impl Inner {
                 self.ite(test, nh, nl)
             }
         };
-        let cap = self.cache_capacity;
-        self.seq_cache.insert(key, result, cap);
+        if !self.gov_tripped() {
+            let cap = self.cache_capacity;
+            self.seq_cache.insert(key, result, cap);
+        }
         result
     }
 }

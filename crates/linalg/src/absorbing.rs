@@ -284,7 +284,24 @@ impl AbsorbingChain {
     /// condition [`AbsorbingChain::solve_exact`] reports, detected
     /// per-component instead of at a global pivot.
     pub fn solve_sparse_scc(&self, lumping: bool) -> Result<SparseAbsorption, LinalgError> {
-        self.solve_sparse_scc_seeded(lumping, None)
+        self.solve_sparse_scc_impl(lumping, None, &mut || false)
+    }
+
+    /// [`AbsorbingChain::solve_sparse_scc`] with a cooperative
+    /// interruption check, polled once per SCC of the (quotiented)
+    /// transient graph — the unit of solver work, so a deadline or
+    /// cancellation is honoured within one component's elimination.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Interrupted`] as soon as `should_stop` returns
+    /// `true`; otherwise as [`AbsorbingChain::solve_sparse_scc`].
+    pub fn solve_sparse_scc_interruptible(
+        &self,
+        lumping: bool,
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> Result<SparseAbsorption, LinalgError> {
+        self.solve_sparse_scc_impl(lumping, None, should_stop)
     }
 
     /// [`AbsorbingChain::solve_sparse_scc`] with an explicit lumping seed
@@ -306,6 +323,15 @@ impl AbsorbingChain {
         &self,
         lumping: bool,
         seed: Option<&Partition>,
+    ) -> Result<SparseAbsorption, LinalgError> {
+        self.solve_sparse_scc_impl(lumping, seed, &mut || false)
+    }
+
+    fn solve_sparse_scc_impl(
+        &self,
+        lumping: bool,
+        seed: Option<&Partition>,
+        should_stop: &mut dyn FnMut() -> bool,
     ) -> Result<SparseAbsorption, LinalgError> {
         let (transient_ix, absorbing_ix, transients, absorbing_states) = self.partition();
         let nt = transients.len();
@@ -373,6 +399,9 @@ impl AbsorbingChain {
         let cond = condense(nb, &succ);
         let mut solved: Vec<Option<Vec<(usize, Ratio)>>> = vec![None; nb];
         for comp in &cond.components {
+            if should_stop() {
+                return Err(LinalgError::Interrupted);
+            }
             solve_component(comp, &qrows, nb, &mut solved)?;
         }
 
@@ -718,6 +747,23 @@ mod tests {
             chain.solve_sparse_scc(false),
             Err(LinalgError::Singular(_))
         ));
+    }
+
+    #[test]
+    fn interruptible_solve_stops_on_request() {
+        let mut chain = AbsorbingChain::new(3);
+        chain.set_absorbing(2);
+        chain.add(0, 1, Ratio::one());
+        chain.add(1, 2, Ratio::one());
+        assert!(matches!(
+            chain.solve_sparse_scc_interruptible(false, &mut || true),
+            Err(LinalgError::Interrupted)
+        ));
+        // A check that never fires leaves the solve untouched.
+        let sol = chain
+            .solve_sparse_scc_interruptible(false, &mut || false)
+            .unwrap();
+        assert_eq!(sol.prob(0, 2), Ratio::one());
     }
 
     #[test]

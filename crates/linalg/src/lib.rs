@@ -50,6 +50,12 @@ pub enum LinalgError {
     },
     /// Dimension mismatch between operands.
     DimensionMismatch,
+    /// The caller's interruption check asked the solver to stop early
+    /// (cooperative cancellation / deadline budgets — see
+    /// [`AbsorbingChain::solve_sparse_scc_interruptible`]). The partial
+    /// solve is discarded; the caller maps this back onto its own typed
+    /// abort error.
+    Interrupted,
 }
 
 impl std::fmt::Display for LinalgError {
@@ -64,6 +70,7 @@ impl std::fmt::Display for LinalgError {
                 "no convergence after {iterations} iterations (residual {residual:.3e})"
             ),
             LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+            LinalgError::Interrupted => write!(f, "solve interrupted by caller"),
         }
     }
 }

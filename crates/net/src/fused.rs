@@ -191,6 +191,9 @@ pub(crate) fn compile_model_fused(
     // order (mirroring the legacy `Prog::case`).
     let mut body = mgr.fail();
     for &s in model.topo.switches().iter().rev() {
+        // Per-switch budget checkpoint: deadline/cancellation aborts land
+        // at switch granularity even before the per-op governor notices.
+        opts.budget.check_external()?;
         let hop = compile_switch_hop(mgr, model, s, &sp, opts, &mut stats)?;
         let test = mgr.branch(
             model.fields.sw,

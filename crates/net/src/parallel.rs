@@ -29,8 +29,66 @@
 
 use crate::fused::{assemble_model, compile_switch_hop, FusedStats};
 use crate::NetworkModel;
-use mcnetkat_fdd::{CompileError, CompileOptions, Fdd, FddExport, Manager};
+use mcnetkat_fdd::{CancelToken, CompileError, CompileOptions, Fdd, FddExport, Manager};
 use mcnetkat_topo::{NodeId, ShortestPaths};
+use std::any::Any;
+
+/// Renders a caught panic payload for [`CompileError::WorkerPanicked`].
+fn payload_string(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Error-precedence accumulator for fan-in joins: the first *real* error
+/// wins; [`CompileError::Cancelled`] only sticks when nothing better
+/// arrives, because sibling workers are cancelled *as a consequence* of
+/// the first failure and their cancellation must not mask its cause.
+fn note_error(slot: &mut Option<CompileError>, e: CompileError) {
+    match slot {
+        None => *slot = Some(e),
+        Some(CompileError::Cancelled) if !matches!(e, CompileError::Cancelled) => *slot = Some(e),
+        Some(_) => {}
+    }
+}
+
+/// Runs `f`, converting any panic into [`CompileError::WorkerPanicked`]
+/// so a fan-out phase degrades into a typed error instead of tearing the
+/// process down. The default panic hook still reports the panic site to
+/// stderr, which is exactly what a postmortem wants.
+fn contain_panics<T>(f: impl FnOnce() -> Result<T, CompileError>) -> Result<T, CompileError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(CompileError::WorkerPanicked {
+            payload: payload_string(payload.as_ref()),
+        }),
+    }
+}
+
+/// Polls the named failpoint at a parallel seam. Compiles away without
+/// the `failpoints` feature.
+fn parallel_failpoint(site: &str) -> Result<(), CompileError> {
+    #[cfg(feature = "failpoints")]
+    {
+        use mcnetkat_fdd::failpoints::{check, InjectedFault};
+        match check(site) {
+            None => Ok(()),
+            Some(InjectedFault::Cancelled) => Err(CompileError::Cancelled),
+            Some(InjectedFault::Singular) => {
+                Err(CompileError::Solver(mcnetkat_fdd::LinalgError::Singular(0)))
+            }
+        }
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = site;
+        Ok(())
+    }
+}
 
 /// Compiles `model` using `workers` threads for the per-switch policies.
 ///
@@ -67,29 +125,73 @@ pub fn compile_model_parallel_with_stats(
     let sp = ShortestPaths::towards(&model.topo, model.dst);
     let switches: Vec<NodeId> = model.topo.switches().to_vec();
 
+    // Fan-out cancellation: workers run under a *child* of the caller's
+    // token (or a fresh one), so the first failure can cancel its
+    // siblings promptly without firing the caller's own token.
+    let abort = opts
+        .budget
+        .cancel
+        .as_ref()
+        .map_or_else(CancelToken::new, CancelToken::child);
+    let worker_opts = CompileOptions {
+        budget: opts.budget.clone().with_cancel(abort.clone()),
+        ..opts.clone()
+    };
+    let worker_opts = &worker_opts;
+
     // Map: each worker compiles its chunk's fused hops and builds the
     // partial `case` chain (and its guard) inside a private manager.
+    // Every join is collected — a worker panic is converted into
+    // `WorkerPanicked` and cancels the remaining workers; it never
+    // propagates as a panic and never leaks a running thread.
     let chunk = switches.len().div_ceil(workers).max(1);
     let mut parts: Vec<FddExport> = Vec::with_capacity(workers);
     let mut stats = FusedStats::default();
+    let mut first_err: Option<CompileError> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for work in switches.chunks(chunk) {
             let sp = &sp;
-            handles.push(scope.spawn(move || compile_chunk(model, work, sp, opts)));
+            let abort = &abort;
+            handles.push(scope.spawn(move || {
+                let result = contain_panics(|| compile_chunk(model, work, sp, worker_opts));
+                if result.is_err() {
+                    // Fail fast: siblings see the cancellation at their
+                    // next checkpoint, not after finishing their chunk.
+                    abort.cancel();
+                }
+                result
+            }));
         }
         for handle in handles {
-            let (part, worker_stats) = handle.join().expect("worker panicked")?;
-            parts.push(part);
-            stats.merge(&worker_stats);
+            match handle.join() {
+                Ok(Ok((part, worker_stats))) => {
+                    parts.push(part);
+                    stats.merge(&worker_stats);
+                }
+                Ok(Err(e)) => note_error(&mut first_err, e),
+                // Unreachable in practice (`contain_panics` already caught
+                // inside the worker), kept so a join failure can never
+                // poison the scope.
+                Err(payload) => note_error(
+                    &mut first_err,
+                    CompileError::WorkerPanicked {
+                        payload: payload_string(payload.as_ref()),
+                    },
+                ),
+            }
         }
-        Ok::<(), CompileError>(())
-    })?;
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    opts.budget.check_external()?;
 
     // Tree-reduce: merge the partial chains pairwise in parallel rounds
     // until at most two remain; the last merge runs in the main manager
     // directly, saving a scratch-manager round trip of the full body.
-    let parts = tree_reduce(parts);
+    let parts = tree_reduce(parts, &abort)?;
+    opts.budget.check_external()?;
     let body = match parts.as_slice() {
         [] => mgr.fail(), // no switches: the body drops everything
         [only] => mgr.import_all(only)[1],
@@ -127,6 +229,10 @@ fn compile_chunk(
     let mut chain = local.fail();
     let mut guard = local.fail();
     for &s in work.iter().rev() {
+        // Per-switch checkpoint: a cancelled sibling token or expired
+        // deadline stops this worker at the next switch boundary.
+        parallel_failpoint("net::parallel::worker")?;
+        opts.budget.check_external()?;
         let branch = compile_switch_hop(&local, model, s, sp, opts, &mut stats)?;
         let test = local.branch(
             model.fields.sw,
@@ -144,15 +250,30 @@ fn compile_chunk(
 /// until at most two remain (the caller finishes in the main manager).
 /// Sound because the chunks cover disjoint `sw` values:
 /// `if guard_A then chain_A else chain_B` never shadows a `B` branch.
-fn tree_reduce(mut parts: Vec<FddExport>) -> Vec<FddExport> {
+///
+/// Merge-round panics and errors get the same containment as the map
+/// phase: every handle is joined, a panic becomes
+/// [`CompileError::WorkerPanicked`], and `abort` cancels the round's
+/// siblings.
+fn tree_reduce(
+    mut parts: Vec<FddExport>,
+    abort: &CancelToken,
+) -> Result<Vec<FddExport>, CompileError> {
     while parts.len() > 2 {
         let mut round: Vec<FddExport> = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut first_err: Option<CompileError> = None;
         let mut iter = parts.into_iter();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             while let Some(a) = iter.next() {
                 match iter.next() {
-                    Some(b) => handles.push(Some(scope.spawn(move || merge_pair(&a, &b)))),
+                    Some(b) => handles.push(Some(scope.spawn(move || {
+                        let result = contain_panics(|| merge_pair(&a, &b, abort));
+                        if result.is_err() {
+                            abort.cancel();
+                        }
+                        result
+                    }))),
                     None => {
                         // Odd part out: carried into the next round as is.
                         round.push(a);
@@ -161,16 +282,36 @@ fn tree_reduce(mut parts: Vec<FddExport>) -> Vec<FddExport> {
                 }
             }
             for handle in handles.into_iter().flatten() {
-                round.push(handle.join().expect("merge worker panicked"));
+                match handle.join() {
+                    Ok(Ok(merged)) => round.push(merged),
+                    Ok(Err(e)) => note_error(&mut first_err, e),
+                    Err(payload) => note_error(
+                        &mut first_err,
+                        CompileError::WorkerPanicked {
+                            payload: payload_string(payload.as_ref()),
+                        },
+                    ),
+                }
             }
         });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
         parts = round;
     }
-    parts
+    Ok(parts)
 }
 
 /// Merges two partial chains in a scratch manager and re-exports.
-fn merge_pair(a: &FddExport, b: &FddExport) -> FddExport {
+fn merge_pair(
+    a: &FddExport,
+    b: &FddExport,
+    abort: &CancelToken,
+) -> Result<FddExport, CompileError> {
+    parallel_failpoint("net::parallel::merge")?;
+    if abort.is_cancelled() {
+        return Err(CompileError::Cancelled);
+    }
     let scratch = Manager::new();
     let ra = scratch.import_all(a);
     let rb = scratch.import_all(b);
@@ -178,7 +319,7 @@ fn merge_pair(a: &FddExport, b: &FddExport) -> FddExport {
     let (guard_b, chain_b) = (rb[0], rb[1]);
     let guard = scratch.ite(guard_a, scratch.pass(), guard_b);
     let chain = scratch.ite(guard_a, chain_a, chain_b);
-    scratch.export_all(&[guard, chain])
+    Ok(scratch.export_all(&[guard, chain]))
 }
 
 #[cfg(test)]
