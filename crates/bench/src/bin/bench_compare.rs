@@ -23,7 +23,12 @@
 //! When a `BENCH_opcache.json` dump is present (written by the
 //! `perf_profile` binary), the op-cache hit rates it contains are appended
 //! to the report, so cache-effectiveness changes travel with the timing
-//! diff.
+//! diff. Likewise for `BENCH_serve.json` (written by `serve_bench`): its
+//! metrics are diffed against `crates/bench/BENCH_serve_baseline.json`,
+//! advisory only — keys ending in `_per_sec` or `_speedup_x` are
+//! higher-is-better, everything else is nanoseconds, lower-is-better.
+//! `--serve-only` reports just that diff (and exits 0), for the CI serve
+//! job where no `cargo bench` dump exists.
 //!
 //! ```text
 //! cargo bench -p mcnetkat-bench
@@ -77,6 +82,7 @@ fn main() -> ExitCode {
     let mut fail_on_regress = false;
     let mut update_baseline = false;
     let mut stable_only = false;
+    let mut serve_only = false;
     let args: Vec<String> = std::env::args()
         .skip(1)
         .filter(|a| match a.as_str() {
@@ -92,9 +98,23 @@ fn main() -> ExitCode {
                 stable_only = true;
                 false
             }
+            "--serve-only" => {
+                serve_only = true;
+                false
+            }
             _ => true,
         })
         .collect();
+    let threshold_default = 15.0;
+    if serve_only {
+        // The CI serve job's advisory diff: only the serve_bench dump is
+        // present there, so skip the cargo-bench comparison entirely.
+        let threshold_pct: f64 = args.first().map_or(threshold_default, |s| {
+            s.parse().expect("threshold must be a number (percent)")
+        });
+        report_serve_diff(threshold_pct);
+        return ExitCode::SUCCESS;
+    }
     // `cargo bench` writes the dump with the *package* directory as CWD,
     // while this binary usually runs from the workspace root — accept the
     // default file names from either location.
@@ -108,7 +128,7 @@ fn main() -> ExitCode {
         str::to_string,
     );
     let baseline_path = baseline_path.as_str();
-    let threshold_pct: f64 = args.get(2).map_or(15.0, |s| {
+    let threshold_pct: f64 = args.get(2).map_or(threshold_default, |s| {
         s.parse().expect("threshold must be a number (percent)")
     });
 
@@ -200,6 +220,7 @@ fn main() -> ExitCode {
     }
     table.print();
     report_opcache_rates();
+    report_serve_diff(threshold_pct);
 
     if regressions > 0 {
         eprintln!("\nwarning: {regressions} benchmark(s) regressed by more than {threshold_pct}%");
@@ -262,6 +283,92 @@ fn report_opcache_rates() {
              exact reference — the sparse SCC solver is silently degrading \
              (see `Manager::solve_report()` for the event log)"
         );
+    }
+}
+
+/// Diffs the `serve_bench` dump against its checked-in baseline, when
+/// both exist. Always advisory: the serve numbers mix latencies with
+/// rates, and the steady-state figures are the most machine-sensitive in
+/// the suite — the blocking serve gate in CI is the incremental-vs-cold
+/// equivalence check, not these timings.
+fn report_serve_diff(threshold_pct: f64) {
+    let current_path = first_existing(&["crates/bench/BENCH_serve.json", "BENCH_serve.json"]);
+    let Ok(current) = load(&current_path) else {
+        return;
+    };
+    let baseline_path = first_existing(&[
+        "crates/bench/BENCH_serve_baseline.json",
+        "BENCH_serve_baseline.json",
+    ]);
+    let Ok(baseline) = load(&baseline_path) else {
+        println!("\nserve metrics ({current_path}; no baseline to diff):");
+        let mut table = Table::new(&["metric", "value"]);
+        for (name, v) in &current {
+            table.row(vec![name.clone(), fmt_serve(name, *v)]);
+        }
+        table.print();
+        return;
+    };
+    println!("\nserve engine diff ({current_path} vs {baseline_path}, advisory):");
+    let mut table = Table::new(&["metric", "baseline", "current", "delta", "verdict"]);
+    for (name, &base) in &baseline {
+        let Some(&cur) = current.get(name) else {
+            table.row(vec![
+                name.clone(),
+                fmt_serve(name, base),
+                "—".into(),
+                "—".into(),
+                "missing".into(),
+            ]);
+            continue;
+        };
+        let delta_pct = (cur - base) / base * 100.0;
+        // Throughput and speedup improve upward; latencies downward.
+        let worsened = if higher_is_better(name) {
+            -delta_pct
+        } else {
+            delta_pct
+        };
+        let verdict = if worsened > threshold_pct {
+            "regressed"
+        } else if worsened < -threshold_pct {
+            "improved"
+        } else {
+            "ok"
+        };
+        table.row(vec![
+            name.clone(),
+            fmt_serve(name, base),
+            fmt_serve(name, cur),
+            format!("{delta_pct:+.1}%"),
+            verdict.into(),
+        ]);
+    }
+    for name in current.keys().filter(|n| !baseline.contains_key(*n)) {
+        table.row(vec![
+            name.clone(),
+            "—".into(),
+            fmt_serve(name, current[name]),
+            "—".into(),
+            "new".into(),
+        ]);
+    }
+    table.print();
+}
+
+fn higher_is_better(name: &str) -> bool {
+    name.ends_with("_per_sec") || name.ends_with("_speedup_x")
+}
+
+fn fmt_serve(name: &str, v: f64) -> String {
+    if name.ends_with("_ns") {
+        fmt_ns(v)
+    } else if name.ends_with("_per_sec") {
+        format!("{v:.0}/s")
+    } else if name.ends_with("_speedup_x") {
+        format!("{v:.1}x")
+    } else {
+        format!("{v:.2}")
     }
 }
 

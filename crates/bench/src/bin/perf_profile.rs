@@ -10,8 +10,9 @@
 //! per-switch scratch manager ([`mcnetkat_net::FusedStats`]).
 //!
 //! Output: human tables on stdout, plus a flat JSON dump of per-cache hit
-//! rates (percent) to `BENCH_opcache.json` — `bench_compare` appends this
-//! to its report when present. Override the path with
+//! rates (percent) to `crates/bench/BENCH_opcache.json` (the CWD when
+//! not run from the workspace root) — `bench_compare` appends this to
+//! its report when present. Override the path with
 //! `MCNETKAT_OPCACHE_PATH`; set it to the empty string to disable.
 //!
 //! `MCNETKAT_SCALE=paper` adds fattree(10) and fattree(12) — scales the
@@ -243,8 +244,15 @@ fn order_sweep() {
 /// criterion shim's `BENCH_results.json`, so `bench_compare` can parse it
 /// with the machinery it already has.
 fn dump_rates(rates: &[(String, f64)]) {
-    let path =
-        std::env::var("MCNETKAT_OPCACHE_PATH").unwrap_or_else(|_| "BENCH_opcache.json".to_string());
+    // Keep every benchmark artifact under `crates/bench/` when running
+    // from the workspace root; fall back to the CWD elsewhere.
+    let path = std::env::var("MCNETKAT_OPCACHE_PATH").unwrap_or_else(|_| {
+        if std::path::Path::new("crates/bench").is_dir() {
+            "crates/bench/BENCH_opcache.json".to_string()
+        } else {
+            "BENCH_opcache.json".to_string()
+        }
+    });
     if path.is_empty() {
         return;
     }

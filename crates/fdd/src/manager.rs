@@ -287,7 +287,12 @@ impl SolveReport {
 /// must be a full distribution (mass exactly 1); surviving tests are then
 /// resolved by convex-summing the branches with the draw's weights —
 /// exactly `draw ; p` followed by projecting the field out.
-#[derive(Clone, Debug)]
+///
+/// `Eq`/`Hash` are structural (the [`mcnetkat_num::Ratio`] representation
+/// is canonical), so a scratch-field list can key an incremental-compilation
+/// cache: two hops with identical programs *and* identical scratch specs
+/// compile to identical diagrams.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ScratchField {
     /// The field to eliminate.
     pub field: Field,
@@ -393,6 +398,24 @@ impl OpCacheStats {
     /// Looks up one cache's counters by name.
     pub fn get(&self, name: &str) -> Option<&OpCacheEntry> {
         self.caches.iter().find(|c| c.name == name)
+    }
+
+    /// Lookups answered from any cache, summed.
+    pub fn total_hits(&self) -> u64 {
+        self.caches.iter().map(|c| c.hits).sum()
+    }
+
+    /// Lookups that had to compute, summed over all caches.
+    pub fn total_misses(&self) -> u64 {
+        self.caches.iter().map(|c| c.misses).sum()
+    }
+
+    /// Entries discarded by clear-on-overflow or an explicit reset,
+    /// summed over all caches — the gauge a long-lived engine watches to
+    /// tell whether its [`Manager::set_cache_capacity`] bound is tight
+    /// enough to matter.
+    pub fn total_evictions(&self) -> u64 {
+        self.caches.iter().map(|c| c.evictions).sum()
     }
 }
 

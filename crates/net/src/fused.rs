@@ -82,47 +82,57 @@ impl FusedStats {
     }
 }
 
-/// Compiles switch `s`'s fused hop — `failure draw ; scheme ; topology
-/// step ; hop bump` with every scratch field eliminated — in a fresh
-/// scratch manager, and imports the (tiny, scratch-free) result into
-/// `target`. Returns the imported diagram; `stats` records the scratch
-/// manager's peak size.
-pub(crate) fn compile_switch_hop(
-    target: &Manager,
-    model: &NetworkModel,
-    s: NodeId,
-    sp: &ShortestPaths,
-    opts: &CompileOptions,
-    stats: &mut FusedStats,
-) -> Result<Fdd, CompileError> {
-    let scratch = Manager::new();
-    let fdd = compile_hop_in(&scratch, model, s, sp, opts)?;
-    stats.absorb_scratch(&scratch);
-    Ok(target.import(&scratch.export(fdd)))
+/// The complete, self-contained inputs of one switch's fused hop compile:
+/// the program to compile (draw prefix + route + topology step + hop
+/// bump) and the scratch-field specification to eliminate afterwards.
+///
+/// Everything the compiled hop diagram depends on is in here — the
+/// routing scheme (via the expanded program), the topology slice, the
+/// hop cap, and the failure-spec slice relevant to this switch (group
+/// membership, Bernoulli weights, budget coupling). `Eq`/`Hash` are
+/// structural, so two switches — or the same switch before and after a
+/// model delta — compile to identical diagrams **iff** their `HopInputs`
+/// compare equal. That makes [`HopInputs::cache_key`] a sound
+/// invalidation key for incremental recompilation (`mcnetkat-serve`
+/// builds its per-switch diagram cache on exactly this).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct HopInputs {
+    /// The hop program compiled in the scratch manager.
+    pub prog: Prog,
+    /// Scratch fields eliminated from the compiled hop, in order.
+    pub scratch: Vec<ScratchField>,
 }
 
-/// The per-switch fused hop compile, in the given manager.
-fn compile_hop_in(
-    mgr: &Manager,
-    model: &NetworkModel,
-    s: NodeId,
-    sp: &ShortestPaths,
-    opts: &CompileOptions,
-) -> Result<Fdd, CompileError> {
+impl HopInputs {
+    /// A 64-bit structural fingerprint of the inputs (a [`std::hash::Hash`]
+    /// digest). Stable within a process — which is all an in-memory
+    /// diagram cache needs — but not across processes or builds.
+    pub fn cache_key(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Assembles switch `s`'s fused hop-compile inputs: `failure draw ;
+/// scheme ; topology step ; hop bump` plus the scratch fields to
+/// eliminate. Pure AST/spec work — no manager involved.
+pub fn hop_inputs(model: &NetworkModel, s: NodeId, sp: &ShortestPaths) -> HopInputs {
     let fields = &model.fields;
     let spec = &model.failure;
     let prone = model.prone_ports(s);
     let sw_val = model.topo.sw_value(s);
 
     // The deterministic part of the hop: route, cross the link, count.
-    let mut route = switch_program(model.scheme, fields, &model.topo, sp, s, model.dst)
+    let mut route = switch_program(model.scheme_for(s), fields, &model.topo, sp, s, model.dst)
         .seq(model.topology_step(s));
     if let Some(cap) = model.hop_cap {
         route = route.seq(bump_hop_counter(fields, cap));
     }
 
-    let mut scratch_fields: Vec<ScratchField> = Vec::new();
-    let hop = if spec.is_factorable() {
+    let mut scratch: Vec<ScratchField> = Vec::new();
+    let prog = if spec.is_factorable() {
         // Factored mode: never compile the draw. Group flags and ungrouped
         // `up` flags become entry draws summed out by `eliminate`; grouped
         // `up` flags are *derived* from their group flag by a compiled
@@ -136,7 +146,7 @@ fn compile_hop_in(
                 continue;
             }
             let grp = fields.grp(j as u32 + 1);
-            scratch_fields.push(ScratchField::bernoulli(
+            scratch.push(ScratchField::bernoulli(
                 grp,
                 Ratio::one() - group.pr.clone(),
             ));
@@ -151,15 +161,15 @@ fn compile_hop_in(
         }
         for &p in &prone {
             if grouped.contains(&p) {
-                scratch_fields.push(ScratchField::write_only(fields.up(p)));
+                scratch.push(ScratchField::write_only(fields.up(p)));
             } else {
-                scratch_fields.push(ScratchField::bernoulli(
+                scratch.push(ScratchField::bernoulli(
                     fields.up(p),
                     Ratio::one() - spec.port_pr(p).clone(),
                 ));
             }
         }
-        mgr.compile_with(&Prog::seq_all(prefix).seq(route), opts)?
+        Prog::seq_all(prefix).seq(route)
     } else {
         // Budget-coupled mode: the `fl` guard sequences the draws, so they
         // must be compiled into the hop. Every health test downstream is
@@ -167,14 +177,82 @@ fn compile_hop_in(
         // fields write-only.
         let draw = spec.hop_program(fields, sw_val, &prone);
         for &p in &prone {
-            scratch_fields.push(ScratchField::write_only(fields.up(p)));
+            scratch.push(ScratchField::write_only(fields.up(p)));
         }
         for j in 1..=spec.group_count() as u32 {
-            scratch_fields.push(ScratchField::write_only(fields.grp(j)));
+            scratch.push(ScratchField::write_only(fields.grp(j)));
         }
-        mgr.compile_with(&draw.seq(route), opts)?
+        draw.seq(route)
     };
-    Ok(mgr.eliminate(hop, &scratch_fields))
+    HopInputs { prog, scratch }
+}
+
+/// Compiles one hop's [`HopInputs`] in a fresh scratch manager, eliminates
+/// the scratch fields, and imports the (tiny, scratch-free) result into
+/// `target`. `stats` records the scratch manager's peak size.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from the scratch compile.
+pub fn compile_hop_import(
+    target: &Manager,
+    inputs: &HopInputs,
+    opts: &CompileOptions,
+    stats: &mut FusedStats,
+) -> Result<Fdd, CompileError> {
+    let scratch = Manager::new();
+    let hop = scratch.compile_with(&inputs.prog, opts)?;
+    let fdd = scratch.eliminate(hop, &inputs.scratch);
+    stats.absorb_scratch(&scratch);
+    Ok(target.import(&scratch.export(fdd)))
+}
+
+/// Compiles switch `s`'s fused hop — `failure draw ; scheme ; topology
+/// step ; hop bump` with every scratch field eliminated — in a fresh
+/// scratch manager, and imports the (tiny, scratch-free) result into
+/// `target`. Returns the imported diagram; `stats` records the scratch
+/// manager's peak size.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from the scratch compile.
+pub fn compile_switch_hop(
+    target: &Manager,
+    model: &NetworkModel,
+    s: NodeId,
+    sp: &ShortestPaths,
+    opts: &CompileOptions,
+    stats: &mut FusedStats,
+) -> Result<Fdd, CompileError> {
+    compile_hop_import(target, &hop_inputs(model, s, sp), opts, stats)
+}
+
+/// Folds per-switch hop diagrams into the global `sw`-case chain, in
+/// reverse switch order so the chain tests switches in declaration order
+/// (mirroring the legacy `Prog::case`). `hop` supplies each switch's
+/// scratch-free diagram — a fresh compile in the batch pipeline, a cache
+/// lookup in an incremental engine.
+///
+/// # Errors
+///
+/// Propagates the first error `hop` returns.
+pub fn assemble_chain(
+    mgr: &Manager,
+    model: &NetworkModel,
+    mut hop: impl FnMut(NodeId) -> Result<Fdd, CompileError>,
+) -> Result<Fdd, CompileError> {
+    let mut body = mgr.fail();
+    for &s in model.topo.switches().iter().rev() {
+        let fdd = hop(s)?;
+        let test = mgr.branch(
+            model.fields.sw,
+            model.topo.sw_value(s),
+            mgr.pass(),
+            mgr.fail(),
+        );
+        body = mgr.ite(test, fdd, body);
+    }
+    Ok(body)
 }
 
 /// Compiles the whole model through the fused pipeline, returning the
@@ -186,23 +264,12 @@ pub(crate) fn compile_model_fused(
 ) -> Result<(Fdd, FusedStats), CompileError> {
     let sp = ShortestPaths::towards(&model.topo, model.dst);
     let mut stats = FusedStats::default();
-    // Assemble the `sw`-case chain from already-scratch-free hops, in
-    // reverse switch order so the chain tests switches in declaration
-    // order (mirroring the legacy `Prog::case`).
-    let mut body = mgr.fail();
-    for &s in model.topo.switches().iter().rev() {
+    let body = assemble_chain(mgr, model, |s| {
         // Per-switch budget checkpoint: deadline/cancellation aborts land
         // at switch granularity even before the per-op governor notices.
         opts.budget.check_external()?;
-        let hop = compile_switch_hop(mgr, model, s, &sp, opts, &mut stats)?;
-        let test = mgr.branch(
-            model.fields.sw,
-            model.topo.sw_value(s),
-            mgr.pass(),
-            mgr.fail(),
-        );
-        body = mgr.ite(test, hop, body);
-    }
+        compile_switch_hop(mgr, model, s, &sp, opts, &mut stats)
+    })?;
     let fdd = assemble_model(mgr, model, body, opts)?;
     #[cfg(feature = "audit")]
     audit_compiled_model(mgr, model, fdd);
@@ -233,7 +300,17 @@ pub(crate) fn audit_compiled_model(mgr: &Manager, model: &NetworkModel, fdd: Fdd
 /// The shared sequential tail of both backends: loop solve, ingress
 /// filter, arrival-port normalisation and the local-variable wrappers,
 /// given an already-assembled loop-body diagram.
-pub(crate) fn assemble_model(
+///
+/// This is the patch seam of the incremental engine: after a model delta
+/// recompiles only the invalidated switches and re-folds the `sw`-case
+/// chain ([`assemble_chain`]), this tail finishes the model. An unchanged
+/// chain body hits the manager's `while`-loop solution cache, so the loop
+/// solve itself is also incremental.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from the loop solve and the tail compiles.
+pub fn assemble_model(
     mgr: &Manager,
     model: &NetworkModel,
     body: Fdd,

@@ -11,7 +11,7 @@ mod chain;
 mod example;
 mod failure;
 mod fields;
-mod fused;
+pub mod fused;
 mod model;
 mod parallel;
 mod queries;

@@ -17,6 +17,7 @@ use crate::{FailureSpec, NetFields, RoutingScheme};
 use mcnetkat_core::{Pred, Prog};
 use mcnetkat_fdd::{CompileError, CompileOptions, Fdd, Manager};
 use mcnetkat_topo::{Level, NodeId, ShortestPaths, Topology};
+use std::collections::BTreeMap;
 
 /// A complete network verification model.
 #[derive(Clone, Debug)]
@@ -27,8 +28,13 @@ pub struct NetworkModel {
     pub dst: NodeId,
     /// Field handles.
     pub fields: NetFields,
-    /// Routing scheme on every switch.
+    /// Routing scheme on every switch (unless overridden per switch).
     pub scheme: RoutingScheme,
+    /// Per-switch scheme overrides: switches listed here run their own
+    /// scheme instead of [`NetworkModel::scheme`] — the seam that lets an
+    /// incremental engine model a single-switch program edit (see
+    /// [`NetworkModel::scheme_for`]).
+    pub scheme_overrides: BTreeMap<NodeId, RoutingScheme>,
     /// Failure specification run at every hop (the plain [`crate::FailureModel`]
     /// converts into this via `Into`).
     pub failure: FailureSpec,
@@ -94,6 +100,7 @@ impl NetworkModel {
             dst,
             fields,
             scheme,
+            scheme_overrides: BTreeMap::new(),
             failure,
             hop_cap: None,
         }
@@ -103,6 +110,23 @@ impl NetworkModel {
     pub fn with_hop_cap(mut self, cap: u32) -> NetworkModel {
         self.hop_cap = Some(cap);
         self
+    }
+
+    /// Overrides the routing scheme of one switch (a "switch program
+    /// edit"): `s` runs `scheme` instead of the model-wide default. Every
+    /// compile path — legacy, fused, parallel — honours the override.
+    pub fn with_switch_scheme(mut self, s: NodeId, scheme: RoutingScheme) -> NetworkModel {
+        self.scheme_overrides.insert(s, scheme);
+        self
+    }
+
+    /// The routing scheme switch `s` actually runs: its override if one is
+    /// set, the model-wide default otherwise.
+    pub fn scheme_for(&self, s: NodeId) -> RoutingScheme {
+        self.scheme_overrides
+            .get(&s)
+            .copied()
+            .unwrap_or(self.scheme)
     }
 
     /// The ingress locations: every edge switch other than the
@@ -154,7 +178,14 @@ impl NetworkModel {
         let draw = self
             .failure
             .hop_program(&self.fields, self.topo.sw_value(s), &prone);
-        let route = switch_program(self.scheme, &self.fields, &self.topo, sp, s, self.dst);
+        let route = switch_program(
+            self.scheme_for(s),
+            &self.fields,
+            &self.topo,
+            sp,
+            s,
+            self.dst,
+        );
         draw.seq(route)
     }
 

@@ -1,0 +1,1137 @@
+//! `mcnetkat-serve`: a long-lived incremental verification engine.
+//!
+//! The batch compilers rebuild the world on every call, but the fused
+//! per-switch pipeline already factors a model into independently
+//! compiled, scratch-free switch diagrams — so a model *delta* (a switch
+//! program edit, a link-probability change, SRLG membership churn, a
+//! topology swap) invalidates only the touched switches' diagrams. This
+//! crate exploits that: an [`Engine`] owns one long-lived
+//! [`Manager`], caches every per-switch diagram keyed on its full compile
+//! inputs ([`mcnetkat_net::fused::HopInputs`] — switch program, failure-spec
+//! slice, hop cap), and on [`Engine::apply`] recompiles only the switches
+//! whose inputs changed, re-folds the `sw`-case chain, and finishes
+//! through the same [`mcnetkat_net::fused::assemble_model`] tail as the
+//! batch pipeline. The manager's `while`-loop solution cache makes the
+//! loop solve incremental too: a chain body the engine has seen before
+//! (a link flapping back up, a scheme toggled back) skips the solve
+//! entirely.
+//!
+//! Invalidation is *correct by construction*: a hop diagram depends on
+//! nothing but its `HopInputs`, two hops with equal inputs compile to
+//! identical diagrams, so cache keys are exactly the structural hashes of
+//! those inputs. Deltas that touch shared structure — the failure budget
+//! `k`, the topology — fall back to a full rebuild (the per-switch cache
+//! is dropped); see [`Delta::is_structural`].
+//!
+//! Queries ([`Engine::query_batch`]) answer concurrently over the shared
+//! manager (its tables are lock-protected), each under its own
+//! [`Budget`]: a query whose budget is already cancelled or expired is
+//! rejected without running, and per-query latencies feed the engine's
+//! p50/p99 gauges ([`EngineStats`]).
+//!
+//! ```
+//! use mcnetkat_net::{FailureModel, NetworkModel, RoutingScheme};
+//! use mcnetkat_num::Ratio;
+//! use mcnetkat_serve::{Delta, Engine, Query};
+//! use mcnetkat_topo::ab_fattree;
+//!
+//! let topo = ab_fattree(4);
+//! let dst = topo.find("edge0_0").unwrap();
+//! let core = topo.find("core0").unwrap();
+//! let model = NetworkModel::new(
+//!     topo, dst, RoutingScheme::Ecmp,
+//!     FailureModel::independent(Ratio::new(1, 100)),
+//! );
+//!
+//! let mut engine = Engine::default();
+//! let id = engine.load(model)?;
+//!
+//! // A single-switch program edit recompiles one switch, not 20.
+//! let report = engine.apply(id, Delta::SetSwitchScheme(core, RoutingScheme::F10_3))?;
+//! assert_eq!(report.switches_changed, 1);
+//!
+//! // Batch queries answer concurrently under per-query budgets.
+//! let src = engine.model(id)?.topo.find("edge0_1").unwrap();
+//! let answers = engine.query_batch(&[
+//!     Query::DeliveryProb { model: id, src }.into(),
+//!     Query::MinDelivery { model: id }.into(),
+//! ]);
+//! assert!(answers.iter().all(Result::is_ok));
+//! # Ok::<(), mcnetkat_serve::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+use mcnetkat_fdd::{Budget, CompileError, CompileOptions, Fdd, Manager, WhileCacheStats};
+use mcnetkat_net::fused::{
+    assemble_chain, assemble_model, compile_hop_import, hop_inputs, FusedStats, HopInputs,
+};
+use mcnetkat_net::{FailureSpec, NetworkModel, Queries, RoutingScheme, Srlg};
+use mcnetkat_num::Ratio;
+use mcnetkat_topo::{NodeId, ShortestPaths, Topology};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Handle to a model loaded into an [`Engine`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ModelId(u64);
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Errors surfaced by the engine API.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// The [`ModelId`] names no loaded model (never loaded, or evicted).
+    UnknownModel(ModelId),
+    /// The delta cannot be applied to the current model (validation
+    /// failure, unknown group name, …) — the model is left untouched.
+    InvalidDelta(String),
+    /// The underlying compile failed (budget trip, solver failure, …).
+    Compile(CompileError),
+}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> EngineError {
+        EngineError::Compile(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownModel(id) => write!(f, "unknown model {id}"),
+            EngineError::InvalidDelta(why) => write!(f, "invalid delta: {why}"),
+            EngineError::Compile(e) => write!(f, "compile failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A model delta: an edit to a loaded model's configuration. Applied with
+/// [`Engine::apply`], which recompiles only the switches the delta
+/// touches (computed by comparing per-switch [`HopInputs`] before and
+/// after) unless the delta [`Delta::is_structural`].
+#[derive(Clone, Debug)]
+pub enum Delta {
+    /// Replace the model-wide default routing scheme.
+    SetScheme(RoutingScheme),
+    /// Override one switch's routing scheme (a switch program edit).
+    SetSwitchScheme(NodeId, RoutingScheme),
+    /// Drop one switch's scheme override (back to the model default).
+    ClearSwitchScheme(NodeId),
+    /// Replace the uniform per-link failure probability.
+    SetUniformPr(Ratio),
+    /// Override one port's failure probability (heterogeneous links).
+    SetLinkPr(u32, Ratio),
+    /// Drop one port's probability override.
+    ClearLinkPr(u32),
+    /// Replace the failure budget `k` — **structural**: the budget guard
+    /// sequences every draw, so the whole per-switch cache is dropped.
+    SetBudget(Option<u32>),
+    /// Append one shared-risk link group.
+    AddGroup(Srlg),
+    /// Remove the named shared-risk group. Groups after it shift down one
+    /// index (and scratch field), so their switches are touched too.
+    RemoveGroup(String),
+    /// Replace the named group's failure probability.
+    SetGroupPr(String, Ratio),
+    /// Replace the named group's member set (SRLG membership churn).
+    SetGroupMembers(String, Vec<(u32, u32)>),
+    /// Enable/disable/retarget the hop-counter cap.
+    SetHopCap(Option<u32>),
+    /// Replace the topology wholesale (link/switch add/remove) —
+    /// **structural**: shortest paths shift globally.
+    SetTopology(Topology),
+    /// Retarget the destination switch — every route changes.
+    SetDst(NodeId),
+}
+
+/// The upper bound on which switches a [`Delta`] may invalidate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Touched {
+    /// Potentially every switch.
+    All,
+    /// At most these switches.
+    Set(BTreeSet<NodeId>),
+}
+
+impl Touched {
+    /// Whether `s` is inside the bound.
+    pub fn contains(&self, s: NodeId) -> bool {
+        match self {
+            Touched::All => true,
+            Touched::Set(set) => set.contains(&s),
+        }
+    }
+
+    /// The bound's size, given the model's switch count.
+    pub fn len(&self, switches: usize) -> usize {
+        match self {
+            Touched::All => switches,
+            Touched::Set(set) => set.len(),
+        }
+    }
+}
+
+impl Delta {
+    /// Whether this delta touches shared compile structure (the failure
+    /// budget's draw sequencing, the topology's global shortest paths) and
+    /// therefore drops the per-switch cache for a full rebuild instead of
+    /// patching.
+    pub fn is_structural(&self) -> bool {
+        matches!(self, Delta::SetBudget(_) | Delta::SetTopology(_))
+    }
+
+    /// The switches this delta may invalidate, as an upper bound computed
+    /// *before* application — the incremental engine's accounting
+    /// invariant is that every switch whose [`HopInputs`] actually change
+    /// lies inside this set ([`DeltaReport::switches_changed`] never
+    /// exceeds its size).
+    pub fn touched(&self, model: &NetworkModel) -> Touched {
+        let prone_switches = || {
+            Touched::Set(
+                model
+                    .topo
+                    .switches()
+                    .iter()
+                    .copied()
+                    .filter(|&s| !model.prone_ports(s).is_empty())
+                    .collect(),
+            )
+        };
+        let group_switch = |members: &[(u32, u32)]| -> BTreeSet<NodeId> {
+            members
+                .iter()
+                .filter_map(|&(sw, _)| model.topo.node_of_sw(sw))
+                .collect()
+        };
+        match self {
+            Delta::SetScheme(_) => Touched::Set(
+                model
+                    .topo
+                    .switches()
+                    .iter()
+                    .copied()
+                    .filter(|s| !model.scheme_overrides.contains_key(s))
+                    .collect(),
+            ),
+            Delta::SetSwitchScheme(s, _) | Delta::ClearSwitchScheme(s) => {
+                Touched::Set([*s].into_iter().collect())
+            }
+            Delta::SetUniformPr(_) => prone_switches(),
+            Delta::SetLinkPr(port, _) | Delta::ClearLinkPr(port) => Touched::Set(
+                model
+                    .topo
+                    .switches()
+                    .iter()
+                    .copied()
+                    .filter(|&s| model.prone_ports(s).contains(port))
+                    .collect(),
+            ),
+            Delta::AddGroup(g) => Touched::Set(group_switch(&g.members)),
+            Delta::RemoveGroup(name) => {
+                // The removed group's switch, plus every group after it
+                // (their scratch-field index shifts down by one).
+                let mut touched = BTreeSet::new();
+                if let Some(i) = model.failure.groups.iter().position(|g| &g.name == name) {
+                    for g in &model.failure.groups[i..] {
+                        touched.extend(group_switch(&g.members));
+                    }
+                }
+                Touched::Set(touched)
+            }
+            Delta::SetGroupPr(name, _) => Touched::Set(
+                model
+                    .failure
+                    .groups
+                    .iter()
+                    .find(|g| &g.name == name)
+                    .map(|g| group_switch(&g.members))
+                    .unwrap_or_default(),
+            ),
+            Delta::SetGroupMembers(name, new_members) => {
+                let mut touched = group_switch(new_members);
+                if let Some(g) = model.failure.groups.iter().find(|g| &g.name == name) {
+                    touched.extend(group_switch(&g.members));
+                }
+                Touched::Set(touched)
+            }
+            Delta::SetHopCap(_)
+            | Delta::SetBudget(_)
+            | Delta::SetTopology(_)
+            | Delta::SetDst(_) => Touched::All,
+        }
+    }
+
+    /// Builds the updated model this delta describes, without compiling
+    /// anything. Field handles are re-derived through the process-wide
+    /// interner, so they stay identical for identical names — cached
+    /// diagrams remain valid across deltas.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidDelta`] when the edit is inconsistent (bad
+    /// probability, unknown group, spec/topology mismatch); the input
+    /// model is untouched.
+    pub fn apply_to(&self, model: &NetworkModel) -> Result<NetworkModel, EngineError> {
+        let mut topo = model.topo.clone();
+        let mut dst = model.dst;
+        let mut scheme = model.scheme;
+        let mut overrides = model.scheme_overrides.clone();
+        let mut failure = model.failure.clone();
+        let mut hop_cap = model.hop_cap;
+
+        let find_group = |failure: &FailureSpec, name: &str| -> Result<usize, EngineError> {
+            failure
+                .groups
+                .iter()
+                .position(|g| g.name == name)
+                .ok_or_else(|| EngineError::InvalidDelta(format!("no group named {name:?}")))
+        };
+        match self {
+            Delta::SetScheme(s) => scheme = *s,
+            Delta::SetSwitchScheme(node, s) => {
+                if !topo.switches().contains(node) {
+                    return Err(EngineError::InvalidDelta(format!(
+                        "no switch with id {node:?}"
+                    )));
+                }
+                overrides.insert(*node, *s);
+            }
+            Delta::ClearSwitchScheme(node) => {
+                overrides.remove(node);
+            }
+            Delta::SetUniformPr(pr) => failure.pr = pr.clone(),
+            Delta::SetLinkPr(port, pr) => {
+                failure.link_pr.insert(*port, pr.clone());
+            }
+            Delta::ClearLinkPr(port) => {
+                failure.link_pr.remove(port);
+            }
+            Delta::SetBudget(k) => failure.k = *k,
+            Delta::AddGroup(g) => failure.groups.push(g.clone()),
+            Delta::RemoveGroup(name) => {
+                let i = find_group(&failure, name)?;
+                failure.groups.remove(i);
+            }
+            Delta::SetGroupPr(name, pr) => {
+                let i = find_group(&failure, name)?;
+                failure.groups[i].pr = pr.clone();
+            }
+            Delta::SetGroupMembers(name, members) => {
+                let i = find_group(&failure, name)?;
+                failure.groups[i].members = members.clone();
+            }
+            Delta::SetHopCap(cap) => hop_cap = *cap,
+            Delta::SetTopology(t) => {
+                topo = t.clone();
+                if !topo.switches().contains(&dst) {
+                    return Err(EngineError::InvalidDelta(
+                        "new topology does not contain the destination switch".into(),
+                    ));
+                }
+                overrides.retain(|s, _| topo.switches().contains(s));
+            }
+            Delta::SetDst(node) => {
+                if !topo.switches().contains(node) {
+                    return Err(EngineError::InvalidDelta(format!(
+                        "no switch with id {node:?}"
+                    )));
+                }
+                dst = *node;
+            }
+        }
+        // Validate before constructing: `NetworkModel::new` panics on a
+        // bad spec, and a rejected delta must leave the engine untouched.
+        failure.validate(&topo).map_err(EngineError::InvalidDelta)?;
+        let mut next = NetworkModel::new(topo, dst, scheme, failure);
+        next.scheme_overrides = overrides;
+        next.hop_cap = hop_cap;
+        Ok(next)
+    }
+}
+
+/// What one [`Engine::apply`] did.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaReport {
+    /// Size of the delta's declared invalidation upper bound
+    /// ([`Delta::touched`]; the switch count when `All`).
+    pub touched_upper_bound: usize,
+    /// Switches whose [`HopInputs`] actually changed. Invariant:
+    /// `switches_changed <= touched_upper_bound`.
+    pub switches_changed: usize,
+    /// Switches recompiled (per-switch cache misses). At most
+    /// `switches_changed` on a patch; up to the full switch count on a
+    /// structural rebuild (the cache was dropped).
+    pub switches_recompiled: usize,
+    /// Whether the delta was structural (cache dropped, full rebuild).
+    pub full_rebuild: bool,
+    /// Whether the loop solve was answered from the `while`-solution
+    /// cache (a chain body the engine had already seen).
+    pub loop_cache_hit: bool,
+    /// Wall-clock time of the whole patch.
+    pub elapsed: Duration,
+}
+
+/// A single query against loaded models.
+#[derive(Clone, Debug)]
+pub enum Query {
+    /// Probability a packet injected at ingress `src` reaches the
+    /// destination.
+    DeliveryProb {
+        /// The model to query.
+        model: ModelId,
+        /// Ingress switch.
+        src: NodeId,
+    },
+    /// Whether `src` can reach the destination at all (delivery
+    /// probability strictly positive).
+    Reachable {
+        /// The model to query.
+        model: ModelId,
+        /// Ingress switch.
+        src: NodeId,
+    },
+    /// The minimum delivery probability over every ingress.
+    MinDelivery {
+        /// The model to query.
+        model: ModelId,
+    },
+    /// Whether `left` refines `right`: at least as likely to deliver from
+    /// every ingress ([`Queries::refines`]).
+    Refines {
+        /// The candidate refinement.
+        left: ModelId,
+        /// The model refined against.
+        right: ModelId,
+    },
+    /// Whether the two compiled models are equivalent as packet
+    /// transformers.
+    Equiv {
+        /// First model.
+        left: ModelId,
+        /// Second model.
+        right: ModelId,
+    },
+    /// Whether the model delivers like the ideal teleport specification
+    /// (failure-free resilience check).
+    EquivTeleport {
+        /// The model to query.
+        model: ModelId,
+    },
+}
+
+/// A [`Query`] plus its resource [`Budget`]. A budget that is already
+/// cancelled or past its deadline rejects the query at admission; limits
+/// are also re-checked against the manager between query steps.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// What to answer.
+    pub query: Query,
+    /// Per-query resource budget (unlimited by default).
+    pub budget: Budget,
+}
+
+impl From<Query> for QueryRequest {
+    fn from(query: Query) -> QueryRequest {
+        QueryRequest {
+            query,
+            budget: Budget::unlimited(),
+        }
+    }
+}
+
+/// A query's answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// An exact probability.
+    Prob(Ratio),
+    /// A truth value.
+    Bool(bool),
+}
+
+impl Answer {
+    /// The probability inside, if this is a probability answer.
+    pub fn prob(&self) -> Option<&Ratio> {
+        match self {
+            Answer::Prob(r) => Some(r),
+            Answer::Bool(_) => None,
+        }
+    }
+
+    /// The truth value inside, if this is a boolean answer.
+    pub fn truth(&self) -> Option<bool> {
+        match self {
+            Answer::Bool(b) => Some(*b),
+            Answer::Prob(_) => None,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the engine's gauges.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Loaded models.
+    pub models: usize,
+    /// Per-switch diagrams currently cached.
+    pub hop_cache_entries: usize,
+    /// Per-switch compiles answered from the cache (cumulative).
+    pub hop_cache_hits: u64,
+    /// Per-switch compiles that ran (cumulative).
+    pub hop_cache_misses: u64,
+    /// Deltas applied (cumulative).
+    pub deltas_applied: u64,
+    /// Deltas that dropped the cache for a structural rebuild.
+    pub full_rebuilds: u64,
+    /// Switches whose inputs changed, summed over all deltas.
+    pub switches_changed: u64,
+    /// Switches recompiled, summed over all deltas.
+    pub switches_recompiled: u64,
+    /// Queries answered (cumulative, including rejected ones).
+    pub queries: u64,
+    /// Median per-query latency in nanoseconds (0 before any query).
+    pub query_p50_ns: u64,
+    /// 99th-percentile per-query latency in nanoseconds.
+    pub query_p99_ns: u64,
+    /// The manager's `while`-loop solution cache counters — the gauge of
+    /// how many chain-body solves the warm cache absorbed.
+    pub while_cache: WhileCacheStats,
+    /// Op-cache lookups answered from cache, summed over all op caches.
+    pub op_cache_hits: u64,
+    /// Op-cache lookups that had to compute, summed.
+    pub op_cache_misses: u64,
+    /// Op-cache entries discarded by the capacity bound
+    /// ([`Manager::set_cache_capacity`]) — nonzero means the bound is
+    /// actively limiting the long-lived manager's memory.
+    pub op_cache_evictions: u64,
+    /// Peak live nodes the shared manager ever held.
+    pub peak_live_nodes: usize,
+}
+
+struct ModelEntry {
+    model: NetworkModel,
+    fdd: Fdd,
+    inputs: BTreeMap<NodeId, HopInputs>,
+}
+
+/// Configuration for a fresh [`Engine`].
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    /// Compile options for every compile the engine runs (loop solver
+    /// backend, lumping, default budget for loads/patches).
+    pub opts: CompileOptions,
+    /// When set, bound each of the manager's op caches to this many
+    /// entries (clear-on-overflow; see [`Manager::set_cache_capacity`]).
+    /// Evictions surface in [`EngineStats::op_cache_evictions`].
+    pub cache_capacity: Option<usize>,
+}
+
+/// A long-lived incremental verification engine: one shared [`Manager`],
+/// a per-switch diagram cache keyed on [`HopInputs`], loaded models, and
+/// latency-tracked concurrent queries. See the crate docs for the full
+/// story.
+pub struct Engine {
+    mgr: Manager,
+    opts: CompileOptions,
+    models: BTreeMap<ModelId, ModelEntry>,
+    next_id: u64,
+    hops: HashMap<HopInputs, Fdd>,
+    // Cumulative counters. Delta-path counters are plain (apply takes
+    // `&mut self`); query counters are atomics (query_batch takes `&self`
+    // and runs concurrently).
+    hop_hits: u64,
+    hop_misses: u64,
+    deltas_applied: u64,
+    full_rebuilds: u64,
+    switches_changed: u64,
+    switches_recompiled: u64,
+    queries: AtomicU64,
+    latencies_ns: Mutex<Vec<u64>>,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Engine {
+        let mgr = match config.cache_capacity {
+            Some(cap) => Manager::with_cache_capacity(cap),
+            None => Manager::new(),
+        };
+        Engine {
+            mgr,
+            opts: config.opts,
+            models: BTreeMap::new(),
+            next_id: 0,
+            hops: HashMap::new(),
+            hop_hits: 0,
+            hop_misses: 0,
+            deltas_applied: 0,
+            full_rebuilds: 0,
+            switches_changed: 0,
+            switches_recompiled: 0,
+            queries: AtomicU64::new(0),
+            latencies_ns: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The engine's shared manager (for cross-manager imports in
+    /// differential tests and for direct diagram queries).
+    pub fn manager(&self) -> &Manager {
+        &self.mgr
+    }
+
+    /// Loads a model, compiling it through the per-switch cache (a model
+    /// sharing switches with an already-loaded one reuses their
+    /// diagrams), and returns its handle.
+    ///
+    /// All loaded models must share field handles — build them with
+    /// [`NetworkModel::new`] (the default [`mcnetkat_net::FieldOrder`]).
+    /// An engine is pinned to one field order for its lifetime; changing
+    /// order means a fresh engine, the one "shared structure" delta that
+    /// cannot be expressed as a [`Delta`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile failures; the engine state is unchanged on
+    /// error.
+    pub fn load(&mut self, model: NetworkModel) -> Result<ModelId, EngineError> {
+        let (fdd, inputs, _) = self.compile_incremental(&model)?;
+        let id = ModelId(self.next_id);
+        self.next_id += 1;
+        self.models.insert(id, ModelEntry { model, fdd, inputs });
+        Ok(id)
+    }
+
+    /// Drops a loaded model. Its cached per-switch diagrams stay in the
+    /// cache (other models may share them).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownModel`] if `id` is not loaded.
+    pub fn unload(&mut self, id: ModelId) -> Result<(), EngineError> {
+        self.models
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(EngineError::UnknownModel(id))
+    }
+
+    /// The current model behind a handle.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownModel`] if `id` is not loaded.
+    pub fn model(&self, id: ModelId) -> Result<&NetworkModel, EngineError> {
+        self.models
+            .get(&id)
+            .map(|e| &e.model)
+            .ok_or(EngineError::UnknownModel(id))
+    }
+
+    /// The model's current compiled diagram (a handle into
+    /// [`Engine::manager`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownModel`] if `id` is not loaded.
+    pub fn fdd(&self, id: ModelId) -> Result<Fdd, EngineError> {
+        self.models
+            .get(&id)
+            .map(|e| e.fdd)
+            .ok_or(EngineError::UnknownModel(id))
+    }
+
+    /// Applies a delta to a loaded model: computes the updated model,
+    /// recompiles only the switches whose [`HopInputs`] changed (all of
+    /// them after a structural delta dropped the cache), re-folds the
+    /// `sw`-case chain, and finishes through the batch pipeline's
+    /// [`assemble_model`] tail — where an already-seen chain body hits
+    /// the `while`-solution cache and skips the loop solve.
+    ///
+    /// On error the engine keeps the pre-delta model and diagram.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownModel`], [`EngineError::InvalidDelta`], or a
+    /// propagated compile failure.
+    pub fn apply(&mut self, id: ModelId, delta: Delta) -> Result<DeltaReport, EngineError> {
+        let start = Instant::now();
+        let entry = self.models.get(&id).ok_or(EngineError::UnknownModel(id))?;
+        let next = delta.apply_to(&entry.model)?;
+        let touched = delta.touched(&entry.model);
+        let full_rebuild = delta.is_structural();
+        if full_rebuild {
+            // Shared structure moved under the cache: drop every
+            // per-switch diagram (stale field/budget coupling) and let the
+            // recompile repopulate it.
+            self.hops.clear();
+            self.full_rebuilds += 1;
+        }
+
+        let while_stats_before = self.mgr.while_cache_stats();
+        let old_inputs = std::mem::take(
+            &mut self
+                .models
+                .get_mut(&id)
+                .expect("entry looked up above")
+                .inputs,
+        );
+        let compiled = self.compile_incremental(&next);
+        let entry = self.models.get_mut(&id).expect("entry looked up above");
+        let (fdd, inputs, recompiled) = match compiled {
+            Ok(v) => v,
+            Err(e) => {
+                entry.inputs = old_inputs; // keep the pre-delta state intact
+                return Err(e);
+            }
+        };
+        let changed = inputs
+            .iter()
+            .filter(|(s, inp)| old_inputs.get(s) != Some(inp))
+            .count();
+        debug_assert!(
+            inputs
+                .iter()
+                .filter(|(s, inp)| old_inputs.get(s) != Some(inp))
+                .all(|(s, _)| touched.contains(*s)),
+            "a switch outside the delta's declared touched set changed inputs"
+        );
+        entry.model = next;
+        entry.fdd = fdd;
+        entry.inputs = inputs;
+
+        self.deltas_applied += 1;
+        self.switches_changed += changed as u64;
+        self.switches_recompiled += recompiled as u64;
+        let while_stats_after = self.mgr.while_cache_stats();
+        let switches = self.models[&id].model.topo.switches().len();
+        Ok(DeltaReport {
+            touched_upper_bound: touched.len(switches),
+            switches_changed: changed,
+            switches_recompiled: recompiled,
+            full_rebuild,
+            loop_cache_hit: while_stats_after.hits > while_stats_before.hits,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Compiles `model` against the per-switch cache: cache hits reuse
+    /// diagrams, misses compile-and-insert. Returns the assembled
+    /// diagram, the per-switch inputs, and the miss count.
+    fn compile_incremental(
+        &mut self,
+        model: &NetworkModel,
+    ) -> Result<(Fdd, BTreeMap<NodeId, HopInputs>, usize), EngineError> {
+        let sp = ShortestPaths::towards(&model.topo, model.dst);
+        let mut inputs = BTreeMap::new();
+        let mut recompiled = 0usize;
+        let mut stats = FusedStats::default();
+        // Borrow pieces individually so the closure can mutate the cache
+        // and counters while the manager is borrowed immutably.
+        let mgr = &self.mgr;
+        let opts = &self.opts;
+        let hops = &mut self.hops;
+        let hop_hits = &mut self.hop_hits;
+        let hop_misses = &mut self.hop_misses;
+        let body = assemble_chain(mgr, model, |s| {
+            // Per-switch budget checkpoint, mirroring the batch pipeline.
+            opts.budget.check_external()?;
+            let inp = hop_inputs(model, s, &sp);
+            let fdd = match hops.get(&inp) {
+                Some(&f) => {
+                    *hop_hits += 1;
+                    f
+                }
+                None => {
+                    *hop_misses += 1;
+                    recompiled += 1;
+                    let f = compile_hop_import(mgr, &inp, opts, &mut stats)?;
+                    hops.insert(inp.clone(), f);
+                    f
+                }
+            };
+            inputs.insert(s, inp);
+            Ok(fdd)
+        })?;
+        let fdd = assemble_model(&self.mgr, model, body, &self.opts)?;
+        #[cfg(feature = "audit")]
+        self.audit_patched(model, fdd);
+        Ok((fdd, inputs, recompiled))
+    }
+
+    /// The `audit` feature's post-patch verification, mirroring the batch
+    /// pipelines' self-audit: the shared manager's tables are clean and
+    /// the patched diagram mentions no scratch field.
+    #[cfg(feature = "audit")]
+    fn audit_patched(&self, model: &NetworkModel, fdd: Fdd) {
+        self.mgr.audit().assert_clean();
+        let dom = self.mgr.domain(fdd);
+        for &f in model.fields.ups().iter().chain(model.fields.grps()) {
+            assert!(
+                !dom.tested.contains_key(&f),
+                "patched model diagram tests scratch field {f}"
+            );
+        }
+    }
+
+    /// Recompiles the model cold — fresh manager, empty caches, the batch
+    /// [`NetworkModel::compile_with`] pipeline — imports the result, and
+    /// checks it equivalent to the engine's incrementally patched
+    /// diagram. The ground-truth check the CI `serve` job gates on.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownModel`] or a propagated compile failure from
+    /// the cold compile.
+    pub fn verify_against_cold(&self, id: ModelId) -> Result<bool, EngineError> {
+        let entry = self.models.get(&id).ok_or(EngineError::UnknownModel(id))?;
+        let cold_mgr = Manager::new();
+        let cold = entry.model.compile_with(&cold_mgr, &self.opts)?;
+        let imported = self.mgr.import(&cold_mgr.export(cold));
+        Ok(self.mgr.equiv(entry.fdd, imported))
+    }
+
+    /// Answers a batch of queries concurrently over the shared manager,
+    /// each under its own budget. Results come back in request order;
+    /// each failure is per-query (one budget trip doesn't poison the
+    /// batch).
+    pub fn query_batch(&self, reqs: &[QueryRequest]) -> Vec<Result<Answer, EngineError>> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(reqs.len());
+        let chunk = reqs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = reqs
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        slice
+                            .iter()
+                            .map(|r| self.query(r))
+                            .collect::<Vec<Result<Answer, EngineError>>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("query worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Answers one query under its budget, recording its latency.
+    ///
+    /// Budgets gate admission (a cancelled or expired budget rejects the
+    /// query before any work) and are re-checked between steps of
+    /// multi-part queries; a query that completes its computation returns
+    /// its answer even if the deadline passed meanwhile — a late exact
+    /// answer is still an answer.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownModel`], a budget-trip [`CompileError`], or
+    /// a propagated compile failure (the teleport check compiles its
+    /// specification on first use).
+    pub fn query(&self, req: &QueryRequest) -> Result<Answer, EngineError> {
+        let start = Instant::now();
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let result = self.answer(req);
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.latencies_ns
+            .lock()
+            .expect("latency gauge poisoned")
+            .push(ns);
+        result
+    }
+
+    fn answer(&self, req: &QueryRequest) -> Result<Answer, EngineError> {
+        req.budget.check_external()?;
+        let queries = |id: ModelId| -> Result<Queries<'_>, EngineError> {
+            let entry = self.models.get(&id).ok_or(EngineError::UnknownModel(id))?;
+            Ok(Queries::from_fdd(&self.mgr, &entry.model, entry.fdd))
+        };
+        match &req.query {
+            Query::DeliveryProb { model, src } => {
+                Ok(Answer::Prob(queries(*model)?.delivery_prob(*src)))
+            }
+            Query::Reachable { model, src } => {
+                let p = queries(*model)?.delivery_prob(*src);
+                Ok(Answer::Bool(p > Ratio::zero()))
+            }
+            Query::MinDelivery { model } => {
+                let q = queries(*model)?;
+                self.mgr.check_budget(&req.budget)?;
+                Ok(Answer::Prob(q.min_delivery()))
+            }
+            Query::Refines { left, right } => {
+                let l = queries(*left)?;
+                let r = queries(*right)?;
+                self.mgr.check_budget(&req.budget)?;
+                // `Queries::refines` reads `self ≤ other`; "left refines
+                // right" means right's delivery is dominated by left's.
+                Ok(Answer::Bool(r.refines(&l)))
+            }
+            Query::Equiv { left, right } => {
+                let l = self.fdd(*left)?;
+                let r = self.fdd(*right)?;
+                self.mgr.check_budget(&req.budget)?;
+                Ok(Answer::Bool(self.mgr.equiv(l, r)))
+            }
+            Query::EquivTeleport { model } => {
+                let q = queries(*model)?;
+                self.mgr.check_budget(&req.budget)?;
+                Ok(Answer::Bool(q.equiv_teleport()?))
+            }
+        }
+    }
+
+    /// Snapshot of every engine gauge: cache effectiveness, patch
+    /// accounting, query latency percentiles, and the shared manager's
+    /// cache/memory counters.
+    pub fn stats(&self) -> EngineStats {
+        let lat = self
+            .latencies_ns
+            .lock()
+            .expect("latency gauge poisoned")
+            .clone();
+        let (p50, p99) = percentiles(&lat);
+        let op = self.mgr.op_cache_stats();
+        EngineStats {
+            models: self.models.len(),
+            hop_cache_entries: self.hops.len(),
+            hop_cache_hits: self.hop_hits,
+            hop_cache_misses: self.hop_misses,
+            deltas_applied: self.deltas_applied,
+            full_rebuilds: self.full_rebuilds,
+            switches_changed: self.switches_changed,
+            switches_recompiled: self.switches_recompiled,
+            queries: self.queries.load(Ordering::Relaxed),
+            query_p50_ns: p50,
+            query_p99_ns: p99,
+            while_cache: self.mgr.while_cache_stats(),
+            op_cache_hits: op.total_hits(),
+            op_cache_misses: op.total_misses(),
+            op_cache_evictions: op.total_evictions(),
+            peak_live_nodes: self.mgr.peak_live_nodes(),
+        }
+    }
+
+    /// Clears the recorded query-latency samples (so a benchmark can
+    /// measure steady state without its warmup skewing the percentiles).
+    pub fn reset_latencies(&self) {
+        self.latencies_ns
+            .lock()
+            .expect("latency gauge poisoned")
+            .clear();
+    }
+}
+
+/// `(p50, p99)` of a latency sample set, in the sample unit. Zero when
+/// empty. Nearest-rank percentiles on a sorted copy.
+fn percentiles(samples: &[u64]) -> (u64, u64) {
+    if samples.is_empty() {
+        return (0, 0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = |p: f64| -> u64 {
+        let idx = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    };
+    (rank(50.0), rank(99.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnetkat_net::FailureModel;
+    use mcnetkat_topo::ab_fattree;
+
+    fn fattree_model(pr: Ratio) -> NetworkModel {
+        let topo = ab_fattree(4);
+        let dst = topo.find("edge0_0").unwrap();
+        NetworkModel::new(
+            topo,
+            dst,
+            RoutingScheme::Ecmp,
+            FailureModel::independent(pr),
+        )
+    }
+
+    #[test]
+    fn load_matches_cold_compile() {
+        let mut engine = Engine::default();
+        let id = engine.load(fattree_model(Ratio::new(1, 100))).unwrap();
+        assert!(engine.verify_against_cold(id).unwrap());
+    }
+
+    #[test]
+    fn single_switch_delta_changes_one_switch() {
+        let mut engine = Engine::default();
+        let model = fattree_model(Ratio::new(1, 100));
+        let agg = model.topo.find("core0").unwrap();
+        let id = engine.load(model).unwrap();
+        let report = engine
+            .apply(id, Delta::SetSwitchScheme(agg, RoutingScheme::F10_3))
+            .unwrap();
+        assert_eq!(report.switches_changed, 1);
+        assert_eq!(report.switches_recompiled, 1);
+        assert!(!report.full_rebuild);
+        assert!(engine.verify_against_cold(id).unwrap());
+    }
+
+    #[test]
+    fn flapping_delta_hits_all_caches() {
+        let mut engine = Engine::default();
+        let model = fattree_model(Ratio::new(1, 100));
+        let agg = model.topo.find("core0").unwrap();
+        let id = engine.load(model).unwrap();
+        engine
+            .apply(id, Delta::SetSwitchScheme(agg, RoutingScheme::F10_3))
+            .unwrap();
+        engine.apply(id, Delta::ClearSwitchScheme(agg)).unwrap();
+        // Third flap: both configurations are warm — no switch compiles,
+        // and the loop solve comes from the while cache.
+        let report = engine
+            .apply(id, Delta::SetSwitchScheme(agg, RoutingScheme::F10_3))
+            .unwrap();
+        assert_eq!(report.switches_changed, 1);
+        assert_eq!(report.switches_recompiled, 0);
+        assert!(report.loop_cache_hit);
+        assert!(engine.verify_against_cold(id).unwrap());
+    }
+
+    #[test]
+    fn budget_delta_is_a_full_rebuild() {
+        let mut engine = Engine::default();
+        let id = engine.load(fattree_model(Ratio::new(1, 100))).unwrap();
+        let report = engine.apply(id, Delta::SetBudget(Some(1))).unwrap();
+        assert!(report.full_rebuild);
+        assert!(engine.stats().full_rebuilds == 1);
+        assert!(engine.verify_against_cold(id).unwrap());
+    }
+
+    #[test]
+    fn rejected_delta_leaves_model_intact() {
+        let mut engine = Engine::default();
+        let id = engine.load(fattree_model(Ratio::new(1, 100))).unwrap();
+        let before = engine.fdd(id).unwrap();
+        let err = engine
+            .apply(id, Delta::SetUniformPr(Ratio::new(3, 2)))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidDelta(_)));
+        assert_eq!(engine.fdd(id).unwrap(), before);
+        assert!(engine.verify_against_cold(id).unwrap());
+    }
+
+    #[test]
+    fn queries_answer_concurrently() {
+        let mut engine = Engine::default();
+        let model = fattree_model(Ratio::new(1, 4));
+        let id = engine.load(model).unwrap();
+        let srcs: Vec<NodeId> = engine.model(id).unwrap().ingresses();
+        let reqs: Vec<QueryRequest> = srcs
+            .iter()
+            .map(|&src| Query::DeliveryProb { model: id, src }.into())
+            .chain([Query::MinDelivery { model: id }.into()])
+            .collect();
+        let answers = engine.query_batch(&reqs);
+        assert_eq!(answers.len(), srcs.len() + 1);
+        let min = answers.last().unwrap().as_ref().unwrap();
+        for a in &answers[..srcs.len()] {
+            assert!(a.as_ref().unwrap().prob().unwrap() >= min.prob().unwrap());
+        }
+        assert_eq!(engine.stats().queries, reqs.len() as u64);
+        assert!(engine.stats().query_p99_ns >= engine.stats().query_p50_ns);
+    }
+
+    #[test]
+    fn cancelled_budget_rejects_query() {
+        let mut engine = Engine::default();
+        let id = engine.load(fattree_model(Ratio::zero())).unwrap();
+        let src = engine.model(id).unwrap().ingresses()[0];
+        let token = mcnetkat_fdd::CancelToken::new();
+        token.cancel();
+        let req = QueryRequest {
+            query: Query::DeliveryProb { model: id, src },
+            budget: Budget::unlimited().with_cancel(token),
+        };
+        let err = engine.query(&req).unwrap_err();
+        assert!(matches!(err, EngineError::Compile(CompileError::Cancelled)));
+    }
+
+    #[test]
+    fn refines_between_two_cached_models() {
+        let mut engine = Engine::default();
+        let reliable = engine.load(fattree_model(Ratio::new(1, 100))).unwrap();
+        let lossy = engine.load(fattree_model(Ratio::new(1, 4))).unwrap();
+        let answers = engine.query_batch(&[
+            Query::Refines {
+                left: reliable,
+                right: lossy,
+            }
+            .into(),
+            Query::Refines {
+                left: lossy,
+                right: reliable,
+            }
+            .into(),
+        ]);
+        // Delivery is monotone in link reliability: the reliable network
+        // refines the lossy one from every ingress, strictly.
+        assert_eq!(answers[0].as_ref().unwrap().truth(), Some(true));
+        assert_eq!(answers[1].as_ref().unwrap().truth(), Some(false));
+    }
+
+    #[test]
+    fn unknown_model_is_reported() {
+        let engine = Engine::default();
+        let ghost = ModelId(99);
+        assert!(matches!(
+            engine.model(ghost).unwrap_err(),
+            EngineError::UnknownModel(id) if id == ghost
+        ));
+        let res = engine.query(&Query::MinDelivery { model: ghost }.into());
+        assert!(matches!(
+            res.unwrap_err(),
+            EngineError::UnknownModel(id) if id == ghost
+        ));
+    }
+
+    #[test]
+    fn second_identical_model_is_all_cache_hits() {
+        let mut engine = Engine::default();
+        let model = fattree_model(Ratio::new(1, 100));
+        let switches = model.topo.switches().len() as u64;
+        engine.load(model.clone()).unwrap();
+        let misses_before = engine.stats().hop_cache_misses;
+        assert_eq!(misses_before, switches);
+        engine.load(model).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.hop_cache_misses, misses_before);
+        assert_eq!(stats.hop_cache_hits, switches);
+    }
+
+    #[test]
+    fn percentile_ranks() {
+        assert_eq!(percentiles(&[]), (0, 0));
+        assert_eq!(percentiles(&[7]), (7, 7));
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentiles(&v), (50, 99));
+    }
+}

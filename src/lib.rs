@@ -60,6 +60,7 @@ pub use mcnetkat_linalg as linalg;
 pub use mcnetkat_net as net;
 pub use mcnetkat_num as num;
 pub use mcnetkat_prism as prism;
+pub use mcnetkat_serve as serve;
 pub use mcnetkat_topo as topo;
 
 #[cfg(test)]
@@ -75,5 +76,6 @@ mod tests {
         let _ = crate::prism::McMode::Exact;
         let _ = crate::baseline::ExactInference::default();
         let _ = crate::net::FailureModel::none();
+        let _ = crate::serve::Engine::default();
     }
 }
