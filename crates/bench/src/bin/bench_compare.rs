@@ -322,6 +322,18 @@ fn report_serve_diff(threshold_pct: f64) {
             ]);
             continue;
         };
+        if base == 0.0 {
+            // No meaningful relative delta against a zero baseline (e.g. a
+            // 0 ns latency from a degenerate smoke run).
+            table.row(vec![
+                name.clone(),
+                fmt_serve(name, base),
+                fmt_serve(name, cur),
+                "—".into(),
+                "n/a".into(),
+            ]);
+            continue;
+        }
         let delta_pct = (cur - base) / base * 100.0;
         // Throughput and speedup improve upward; latencies downward.
         let worsened = if higher_is_better(name) {

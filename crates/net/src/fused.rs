@@ -179,8 +179,15 @@ pub fn hop_inputs(model: &NetworkModel, s: NodeId, sp: &ShortestPaths) -> HopInp
         for &p in &prone {
             scratch.push(ScratchField::write_only(fields.up(p)));
         }
-        for j in 1..=spec.group_count() as u32 {
-            scratch.push(ScratchField::write_only(fields.grp(j)));
+        // Mirror `FailureSpec::hop_program`: only groups with members on
+        // this switch are drawn here, so only their flags exist to
+        // eliminate. Listing the rest would couple every switch's
+        // `HopInputs` to every group, making a group edit invalidate
+        // switches the group never touches.
+        for (j, group) in spec.groups.iter().enumerate() {
+            if !group.ports_on(sw_val, &prone).is_empty() {
+                scratch.push(ScratchField::write_only(fields.grp(j as u32 + 1)));
+            }
         }
         draw.seq(route)
     };

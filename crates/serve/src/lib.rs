@@ -331,13 +331,32 @@ impl Delta {
             }
             Delta::SetHopCap(cap) => hop_cap = *cap,
             Delta::SetTopology(t) => {
-                topo = t.clone();
-                if !topo.switches().contains(&dst) {
-                    return Err(EngineError::InvalidDelta(
-                        "new topology does not contain the destination switch".into(),
-                    ));
-                }
-                overrides.retain(|s, _| topo.switches().contains(s));
+                // `NodeId` is an index into a topology's node table, so a
+                // raw id carried across a swap can silently rebind to a
+                // different switch. Remap the destination and the scheme
+                // overrides by node *name* into the replacement topology;
+                // overrides whose switch no longer exists are dropped.
+                let next_topo = t.clone();
+                let dst_name = &topo.info(dst).name;
+                dst = next_topo
+                    .find(dst_name)
+                    .filter(|n| next_topo.switches().contains(n))
+                    .ok_or_else(|| {
+                        EngineError::InvalidDelta(format!(
+                            "new topology has no switch named {dst_name:?} \
+                             (the current destination)"
+                        ))
+                    })?;
+                overrides = overrides
+                    .iter()
+                    .filter_map(|(s, sch)| {
+                        next_topo
+                            .find(&topo.info(*s).name)
+                            .filter(|n| next_topo.switches().contains(n))
+                            .map(|n| (n, *sch))
+                    })
+                    .collect();
+                topo = next_topo;
             }
             Delta::SetDst(node) => {
                 if !topo.switches().contains(node) {
@@ -531,6 +550,48 @@ pub struct EngineConfig {
     /// entries (clear-on-overflow; see [`Manager::set_cache_capacity`]).
     /// Evictions surface in [`EngineStats::op_cache_evictions`].
     pub cache_capacity: Option<usize>,
+    /// When set, the per-switch hop cache is trimmed back to the entries
+    /// referenced by the loaded models whenever it grows past this many
+    /// entries ([`Engine::trim_hop_cache`] runs after the load/apply that
+    /// overflowed). Unset means the cache only shrinks on structural
+    /// rebuilds — fine for benchmarks, unbounded for a long-lived server.
+    pub hop_cache_limit: Option<usize>,
+}
+
+/// Cap on retained query-latency samples. Once full, new samples
+/// overwrite the oldest (a ring), so the gauges track a recent window
+/// instead of the whole process lifetime and [`Engine::stats`] sorts a
+/// bounded vector.
+const LATENCY_SAMPLE_CAP: usize = 4096;
+
+/// A fixed-capacity ring of latency samples. Order is irrelevant (the
+/// percentile pass sorts), so overwrite-at-cursor is all it needs.
+struct LatencyRing {
+    samples: Vec<u64>,
+    cursor: usize,
+}
+
+impl LatencyRing {
+    fn new() -> LatencyRing {
+        LatencyRing {
+            samples: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    fn push(&mut self, ns: u64) {
+        if self.samples.len() < LATENCY_SAMPLE_CAP {
+            self.samples.push(ns);
+        } else {
+            self.samples[self.cursor] = ns;
+            self.cursor = (self.cursor + 1) % LATENCY_SAMPLE_CAP;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.samples.clear();
+        self.cursor = 0;
+    }
 }
 
 /// A long-lived incremental verification engine: one shared [`Manager`],
@@ -553,7 +614,8 @@ pub struct Engine {
     switches_changed: u64,
     switches_recompiled: u64,
     queries: AtomicU64,
-    latencies_ns: Mutex<Vec<u64>>,
+    latencies_ns: Mutex<LatencyRing>,
+    hop_cache_limit: Option<usize>,
 }
 
 impl Default for Engine {
@@ -582,7 +644,8 @@ impl Engine {
             switches_changed: 0,
             switches_recompiled: 0,
             queries: AtomicU64::new(0),
-            latencies_ns: Mutex::new(Vec::new()),
+            latencies_ns: Mutex::new(LatencyRing::new()),
+            hop_cache_limit: config.hop_cache_limit,
         }
     }
 
@@ -611,6 +674,7 @@ impl Engine {
         let id = ModelId(self.next_id);
         self.next_id += 1;
         self.models.insert(id, ModelEntry { model, fdd, inputs });
+        self.enforce_hop_cache_limit();
         Ok(id)
     }
 
@@ -671,13 +735,12 @@ impl Engine {
         let next = delta.apply_to(&entry.model)?;
         let touched = delta.touched(&entry.model);
         let full_rebuild = delta.is_structural();
-        if full_rebuild {
-            // Shared structure moved under the cache: drop every
-            // per-switch diagram (stale field/budget coupling) and let the
-            // recompile repopulate it.
-            self.hops.clear();
-            self.full_rebuilds += 1;
-        }
+        // Shared structure moved under the cache: a structural delta
+        // recompiles against a fresh cache so no stale field/budget
+        // coupling survives. The pre-delta cache is kept aside and only
+        // dropped once the compile succeeds — a budget trip restores it
+        // (and the rebuild counter) along with the model.
+        let saved_hops = full_rebuild.then(|| std::mem::take(&mut self.hops));
 
         let while_stats_before = self.mgr.while_cache_stats();
         let old_inputs = std::mem::take(
@@ -693,9 +756,15 @@ impl Engine {
             Ok(v) => v,
             Err(e) => {
                 entry.inputs = old_inputs; // keep the pre-delta state intact
+                if let Some(old) = saved_hops {
+                    self.hops = old;
+                }
                 return Err(e);
             }
         };
+        if full_rebuild {
+            self.full_rebuilds += 1;
+        }
         let changed = inputs
             .iter()
             .filter(|(s, inp)| old_inputs.get(s) != Some(inp))
@@ -714,6 +783,7 @@ impl Engine {
         self.deltas_applied += 1;
         self.switches_changed += changed as u64;
         self.switches_recompiled += recompiled as u64;
+        self.enforce_hop_cache_limit();
         let while_stats_after = self.mgr.while_cache_stats();
         let switches = self.models[&id].model.topo.switches().len();
         Ok(DeltaReport {
@@ -908,6 +978,7 @@ impl Engine {
             .latencies_ns
             .lock()
             .expect("latency gauge poisoned")
+            .samples
             .clone();
         let (p50, p99) = percentiles(&lat);
         let op = self.mgr.op_cache_stats();
@@ -938,6 +1009,34 @@ impl Engine {
             .lock()
             .expect("latency gauge poisoned")
             .clear();
+    }
+
+    /// Drops every cached per-switch diagram not referenced by a loaded
+    /// model's current inputs, returning how many were evicted. Runs
+    /// automatically when the cache overflows
+    /// [`EngineConfig::hop_cache_limit`]; callable directly to release
+    /// diagrams (and the manager nodes they pin) after an unload or a
+    /// burst of one-off deltas.
+    pub fn trim_hop_cache(&mut self) -> usize {
+        let live: std::collections::HashSet<&HopInputs> = self
+            .models
+            .values()
+            .flat_map(|e| e.inputs.values())
+            .collect();
+        let before = self.hops.len();
+        self.hops.retain(|inp, _| live.contains(inp));
+        before - self.hops.len()
+    }
+
+    /// Applies the configured hop-cache bound after a successful
+    /// load/apply.
+    fn enforce_hop_cache_limit(&mut self) {
+        if self
+            .hop_cache_limit
+            .is_some_and(|limit| self.hops.len() > limit)
+        {
+            self.trim_hop_cache();
+        }
     }
 }
 
@@ -1024,6 +1123,108 @@ mod tests {
         assert!(report.full_rebuild);
         assert!(engine.stats().full_rebuilds == 1);
         assert!(engine.verify_against_cold(id).unwrap());
+    }
+
+    #[test]
+    fn group_delta_under_budget_patches_member_switch_only() {
+        // Regression: under a failure budget the budget-coupled branch of
+        // `hop_inputs` used to list every group's flag on every switch, so
+        // AddGroup/RemoveGroup invalidated the whole network instead of
+        // the member-group switches declared by `Delta::touched`.
+        let mut engine = Engine::default();
+        let id = engine.load(fattree_model(Ratio::new(1, 100))).unwrap();
+        engine.apply(id, Delta::SetBudget(Some(1))).unwrap();
+        let (sw, port) = {
+            let m = engine.model(id).unwrap();
+            let node = m.topo.find("core0").unwrap();
+            (m.topo.sw_value(node), m.prone_ports(node)[0])
+        };
+        let group = Srlg {
+            name: "conduit".into(),
+            pr: Ratio::new(1, 50),
+            members: vec![(sw, port)],
+        };
+        let report = engine.apply(id, Delta::AddGroup(group)).unwrap();
+        assert!(!report.full_rebuild);
+        assert_eq!(report.touched_upper_bound, 1);
+        assert_eq!(report.switches_changed, 1);
+        assert!(engine.verify_against_cold(id).unwrap());
+        let report = engine
+            .apply(id, Delta::RemoveGroup("conduit".into()))
+            .unwrap();
+        assert_eq!(report.switches_changed, 1);
+        assert!(engine.verify_against_cold(id).unwrap());
+    }
+
+    #[test]
+    fn set_topology_remaps_overrides_and_dst_by_name() {
+        use mcnetkat_topo::{Level, Topology};
+        let mut t1 = Topology::new();
+        let a1 = t1.add_switch("a", Level::Plain);
+        let b1 = t1.add_switch("b", Level::Plain);
+        let c1 = t1.add_switch("c", Level::Plain);
+        t1.link(a1, b1);
+        t1.link(b1, c1);
+        let mut model = NetworkModel::new(
+            t1,
+            a1,
+            RoutingScheme::Ecmp,
+            FailureModel::independent(Ratio::zero()),
+        );
+        model.scheme_overrides.insert(c1, RoutingScheme::F10_3);
+
+        // Same names, different insertion order: every NodeId shifts, so
+        // a raw-id carry-over would rebind dst and the override.
+        let mut t2 = Topology::new();
+        let x2 = t2.add_switch("x", Level::Plain);
+        let c2 = t2.add_switch("c", Level::Plain);
+        let b2 = t2.add_switch("b", Level::Plain);
+        let a2 = t2.add_switch("a", Level::Plain);
+        t2.link(a2, b2);
+        t2.link(b2, c2);
+        t2.link(c2, x2);
+        let next = Delta::SetTopology(t2).apply_to(&model).unwrap();
+        assert_eq!(next.dst, a2);
+        assert_eq!(next.scheme_overrides.len(), 1);
+        assert_eq!(
+            next.scheme_overrides.get(&c2),
+            Some(&RoutingScheme::F10_3)
+        );
+
+        // A topology without the destination's name is rejected.
+        let mut t3 = Topology::new();
+        t3.add_switch("z", Level::Plain);
+        assert!(matches!(
+            Delta::SetTopology(t3).apply_to(&model),
+            Err(EngineError::InvalidDelta(_))
+        ));
+    }
+
+    #[test]
+    fn trim_hop_cache_drops_unreferenced_entries() {
+        let mut engine = Engine::default();
+        let id = engine.load(fattree_model(Ratio::new(1, 100))).unwrap();
+        let core = engine.model(id).unwrap().topo.find("core0").unwrap();
+        engine
+            .apply(id, Delta::SetSwitchScheme(core, RoutingScheme::F10_3))
+            .unwrap();
+        // The pre-edit core0 diagram is cached but no longer referenced.
+        let entries = engine.stats().hop_cache_entries;
+        assert_eq!(engine.trim_hop_cache(), 1);
+        assert_eq!(engine.stats().hop_cache_entries, entries - 1);
+        assert!(engine.verify_against_cold(id).unwrap());
+    }
+
+    #[test]
+    fn latency_ring_is_bounded() {
+        let mut ring = LatencyRing::new();
+        for i in 0..(LATENCY_SAMPLE_CAP as u64 + 10) {
+            ring.push(i);
+        }
+        assert_eq!(ring.samples.len(), LATENCY_SAMPLE_CAP);
+        // The newest samples are retained; the oldest were overwritten.
+        assert!(ring.samples.contains(&(LATENCY_SAMPLE_CAP as u64 + 9)));
+        assert!(!ring.samples.contains(&0));
     }
 
     #[test]
