@@ -28,11 +28,18 @@
 //! plus a **blocking** differential check — after every single delta the
 //! patched diagram is verified `equiv` to a cold compile of the current
 //! model. `MCNETKAT_SCALE=paper` adds fattree(10).
+//!
+//! `--recovery` adds the durability phase: a journaled engine takes a
+//! 100-delta churn log, the process "dies" (the engine is dropped), and
+//! the phase times [`Engine::recover`] replaying the log — the
+//! `recovery_replay_ns` the serve README's snapshot-cadence advice is
+//! based on — plus an overload probe (two query batches racing a
+//! one-permit admission gate) whose shed rate lands in the same dump.
 
 use mcnetkat_bench::{secs, timed, Scale, Table};
 use mcnetkat_net::{FailureModel, NetworkModel, RoutingScheme};
 use mcnetkat_num::Ratio;
-use mcnetkat_serve::{Delta, Engine, ModelId, Query, QueryRequest};
+use mcnetkat_serve::{Delta, Engine, EngineConfig, EngineError, ModelId, Query, QueryRequest};
 use mcnetkat_topo::{fattree, NodeId};
 
 // Runtime asserts on purpose — `cargo test --features audit` builds this
@@ -50,6 +57,7 @@ fn main() {
          timings would include fault-injection checks; rebuild without it"
     );
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let recovery = std::env::args().any(|a| a == "--recovery");
     let ports: &[usize] = if smoke {
         &[4]
     } else {
@@ -61,6 +69,10 @@ fn main() {
     let mut dump: Vec<(String, f64)> = Vec::new();
     for &p in ports {
         run_workload(p, smoke, &mut dump);
+    }
+    if recovery {
+        run_recovery(if smoke { 4 } else { 8 }, &mut dump);
+        run_overload(&mut dump);
     }
     write_dump(&dump);
     if smoke {
@@ -229,6 +241,96 @@ fn run_workload(p: usize, smoke: bool, dump: &mut Vec<(String, f64)>) {
     dump.push((key("query_p50_ns"), stats.query_p50_ns as f64));
     dump.push((key("query_p99_ns"), stats.query_p99_ns as f64));
     dump.push((key("query_throughput_per_sec"), throughput));
+}
+
+/// The `--recovery` phase: journal a 100-delta churn log (cycling the
+/// flap set, so it is the same workload the steady-state phase measures),
+/// drop the engine, and time [`Engine::recover`] replaying it — which
+/// includes recovery's built-in cold re-verification of every model, the
+/// price of a trustworthy restart.
+fn run_recovery(p: usize, dump: &mut Vec<(String, f64)>) {
+    const DELTAS: usize = 100;
+    let label = format!("fattree{p}");
+    println!("== serve recovery: fattree({p}), {DELTAS}-delta journal ==");
+    let dir = std::env::temp_dir().join(format!(
+        "mcnetkat-serve-bench-recovery-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut engine =
+        Engine::with_journal(EngineConfig::default(), &dir).expect("journal dir unwritable");
+    let id = engine.load(model_for(p)).expect("cold load failed");
+    let flaps = flap_set(engine.model(id).unwrap());
+    for step in 0..DELTAS {
+        let (apply, revert) = &flaps[step % flaps.len()];
+        let d = if (step / flaps.len()).is_multiple_of(2) {
+            apply
+        } else {
+            revert
+        };
+        engine.apply(id, d.clone()).expect("journaled delta failed");
+    }
+    let journal_bytes = engine.stats().journal_bytes;
+    drop(engine); // the "crash"
+
+    let ((_, report), replay_s) =
+        timed(|| Engine::recover(EngineConfig::default(), &dir).expect("recovery failed"));
+    assert_eq!(
+        report.records_replayed,
+        DELTAS as u64 + 1,
+        "load + every committed delta"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut table = Table::new(&["metric", "value"]);
+    table.row(vec!["journal size".into(), format!("{journal_bytes}B")]);
+    table.row(vec![
+        "records replayed".into(),
+        format!("{}", report.records_replayed),
+    ]);
+    table.row(vec!["recovery replay".into(), secs(replay_s)]);
+    table.print();
+    println!();
+    let key = |m: &str| format!("serve/{label}/{m}");
+    dump.push((key("recovery_replay_ns"), replay_s * 1e9));
+    dump.push((key("recovery_records"), report.records_replayed as f64));
+    dump.push((key("recovery_journal_bytes"), journal_bytes as f64));
+}
+
+/// The overload probe: two query batches race a one-permit admission
+/// gate. Sheds come only from cross-batch contention (each batch's own
+/// fan-out is capped at the gate), so the rate is the advisory gauge of
+/// how hard the gate bites — the accounting invariant (every request
+/// answers or sheds, exactly counted) is asserted here and gated in the
+/// serve test suite.
+fn run_overload(dump: &mut Vec<(String, f64)>) {
+    const BATCH: usize = 64;
+    println!("== serve overload: 2 batches × {BATCH} queries, 1 permit ==");
+    let config = EngineConfig {
+        max_concurrent_queries: Some(1),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(config);
+    let id = engine.load(model_for(4)).expect("cold load failed");
+    let reqs: Vec<QueryRequest> = (0..BATCH)
+        .map(|_| Query::MinDelivery { model: id }.into())
+        .collect();
+    let (r1, r2) = std::thread::scope(|scope| {
+        let h1 = scope.spawn(|| engine.query_batch(&reqs));
+        let h2 = scope.spawn(|| engine.query_batch(&reqs));
+        (h1.join().unwrap(), h2.join().unwrap())
+    });
+    assert!(
+        r1.iter()
+            .chain(r2.iter())
+            .all(|r| matches!(r, Ok(_) | Err(EngineError::Overloaded { .. }))),
+        "every request must answer or shed"
+    );
+    let shed = engine.stats().queries_shed;
+    let rate = shed as f64 / (2 * BATCH) as f64;
+    println!("shed {shed}/{} ({:.0}%)\n", 2 * BATCH, rate * 100.0);
+    dump.push(("serve/overload/queries_shed".into(), shed as f64));
+    dump.push(("serve/overload/shed_rate".into(), rate));
 }
 
 /// In smoke mode, the blocking differential gate: the patched diagram

@@ -14,11 +14,19 @@
 //! linalg::lump             the lumping partition rung        Singular, Panic, Delay, Cancel
 //! net::parallel::worker    per-switch worker closure         Panic, Delay, Cancel
 //! net::parallel::merge     tree-reduce merge rounds          Panic, Delay, Cancel
+//! serve::journal::append   write-ahead journal append        Singular (= torn write), Cancel, Panic, Delay
+//! serve::apply::patch      per-switch patch closure          Singular, Panic, Delay, Cancel
+//! serve::apply::assemble   post-patch model assembly         Singular, Panic, Delay, Cancel
 //! ```
 //!
 //! (`linalg::lump` is a *logical* name: the registry lives here because
 //! `mcnetkat-linalg` sits below this crate, so `fdd::loops` checks the
-//! site just before entering the lumped solver rung.)
+//! site just before entering the lumped solver rung. The `serve::*`
+//! sites are registered by `mcnetkat-serve`, which sits above; at
+//! `serve::journal::append`, `Singular` is repurposed to simulate a
+//! *torn write* — a strict prefix of the record reaches the file and
+//! the writer poisons itself — so recovery's truncation rule can be
+//! exercised deterministically.)
 //!
 //! The registry is process-global, so tests that arm faults must
 //! serialize (the harness uses a static mutex) and clear the registry

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 mod chain;
+pub mod codec;
 mod example;
 mod failure;
 mod fields;
@@ -18,6 +19,7 @@ mod queries;
 mod scheme;
 
 pub use chain::{chain_benchmark, chain_delivery_native, chain_expected_delivery, ChainBenchmark};
+pub use codec::{Codec, CodecError, ModelDescription, Reader};
 pub use example::{running_example, RunningExample};
 pub use failure::{FailureModel, FailureSpec, Srlg};
 pub use fields::{FieldOrder, NetFields};

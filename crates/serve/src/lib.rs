@@ -27,7 +27,22 @@
 //! manager (its tables are lock-protected), each under its own
 //! [`Budget`]: a query whose budget is already cancelled or expired is
 //! rejected without running, and per-query latencies feed the engine's
-//! p50/p99 gauges ([`EngineStats`]).
+//! p50/p99 gauges ([`EngineStats`]). Under load the engine degrades
+//! instead of falling over: an admission gate
+//! ([`EngineConfig::max_concurrent_queries`]) sheds excess queries with
+//! [`EngineError::Overloaded`], batch fan-out is capped at the same
+//! limit (the rest queue), and a deadline-tripped query gets one bounded
+//! retry ([`EngineConfig::degraded_grace`]) before its error surfaces.
+//!
+//! The engine's state can also survive the process. A journaling engine
+//! ([`Engine::with_journal`]) appends every load/delta/unload to a
+//! checksummed write-ahead journal *before* mutating state and marks it
+//! committed once the compile succeeds; [`Engine::snapshot`] checkpoints
+//! the loaded models' descriptions; and [`Engine::recover`] rebuilds an
+//! engine from snapshot + journal tail, truncating torn tails, refusing
+//! interior corruption, and re-verifying every recovered model against a
+//! cold compile. See the [`journal`] module docs for the format and the
+//! atomicity contract.
 //!
 //! ```
 //! use mcnetkat_net::{FailureModel, NetworkModel, RoutingScheme};
@@ -62,16 +77,20 @@
 
 #![forbid(unsafe_code)]
 
+pub mod journal;
+
+use journal::{JournalError, Record, RecoveryError};
 use mcnetkat_fdd::{Budget, CompileError, CompileOptions, Fdd, Manager, WhileCacheStats};
 use mcnetkat_net::fused::{
     assemble_chain, assemble_model, compile_hop_import, hop_inputs, FusedStats, HopInputs,
 };
-use mcnetkat_net::{FailureSpec, NetworkModel, Queries, RoutingScheme, Srlg};
+use mcnetkat_net::{FailureSpec, ModelDescription, NetworkModel, Queries, RoutingScheme, Srlg};
 use mcnetkat_num::Ratio;
 use mcnetkat_topo::{NodeId, ShortestPaths, Topology};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Handle to a model loaded into an [`Engine`].
@@ -94,11 +113,30 @@ pub enum EngineError {
     InvalidDelta(String),
     /// The underlying compile failed (budget trip, solver failure, …).
     Compile(CompileError),
+    /// The write-ahead journal rejected the operation's intent record —
+    /// the in-memory state is untouched (the journal append runs
+    /// *before* any mutation).
+    Journal(JournalError),
+    /// The admission gate shed this query:
+    /// [`EngineConfig::max_concurrent_queries`] queries were already in
+    /// flight. Retry later; nothing ran.
+    Overloaded {
+        /// In-flight queries observed at admission.
+        active: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
 }
 
 impl From<CompileError> for EngineError {
     fn from(e: CompileError) -> EngineError {
         EngineError::Compile(e)
+    }
+}
+
+impl From<JournalError> for EngineError {
+    fn from(e: JournalError) -> EngineError {
+        EngineError::Journal(e)
     }
 }
 
@@ -108,6 +146,10 @@ impl std::fmt::Display for EngineError {
             EngineError::UnknownModel(id) => write!(f, "unknown model {id}"),
             EngineError::InvalidDelta(why) => write!(f, "invalid delta: {why}"),
             EngineError::Compile(e) => write!(f, "compile failed: {e}"),
+            EngineError::Journal(e) => write!(f, "journal failed: {e}"),
+            EngineError::Overloaded { active, limit } => {
+                write!(f, "overloaded: {active} queries in flight (limit {limit})")
+            }
         }
     }
 }
@@ -458,6 +500,18 @@ pub struct QueryRequest {
     pub budget: Budget,
 }
 
+impl QueryRequest {
+    /// Gives the request a deadline this far in the future, keeping the
+    /// rest of its budget. The overload story in one line: batch
+    /// producers attach deadlines, slow queries trip them, and the
+    /// degraded-answer path ([`EngineConfig::degraded_grace`]) gets one
+    /// bounded retry before the error surfaces.
+    pub fn with_deadline(mut self, timeout: Duration) -> QueryRequest {
+        self.budget = self.budget.with_deadline(timeout);
+        self
+    }
+}
+
 impl From<Query> for QueryRequest {
     fn from(query: Query) -> QueryRequest {
         QueryRequest {
@@ -532,6 +586,24 @@ pub struct EngineStats {
     pub op_cache_evictions: u64,
     /// Peak live nodes the shared manager ever held.
     pub peak_live_nodes: usize,
+    /// Bytes of write-ahead journal written (0 when not journaling).
+    pub journal_bytes: u64,
+    /// Records appended to the journal, including a resumed prefix's.
+    pub journal_records: u64,
+    /// Whether a journal failure has poisoned the writer (mutating
+    /// operations now refuse; recover to resume).
+    pub journal_poisoned: bool,
+    /// Times this engine's state was rebuilt by [`Engine::recover`]
+    /// (0 or 1 — an engine recovers at construction, never live).
+    pub recoveries: u64,
+    /// Queries shed by the admission gate ([`EngineError::Overloaded`]).
+    pub queries_shed: u64,
+    /// Deadline-tripped queries salvaged by the degraded retry
+    /// ([`EngineConfig::degraded_grace`]).
+    pub degraded_answers: u64,
+    /// Hop-cache entries evicted by unload auto-trim,
+    /// [`Engine::trim_hop_cache`], and the configured cache limit.
+    pub hop_cache_evictions: u64,
 }
 
 struct ModelEntry {
@@ -554,8 +626,21 @@ pub struct EngineConfig {
     /// referenced by the loaded models whenever it grows past this many
     /// entries ([`Engine::trim_hop_cache`] runs after the load/apply that
     /// overflowed). Unset means the cache only shrinks on structural
-    /// rebuilds — fine for benchmarks, unbounded for a long-lived server.
+    /// rebuilds and unloads — fine for benchmarks; bound it for a
+    /// long-lived server.
     pub hop_cache_limit: Option<usize>,
+    /// When set, at most this many queries run at once; excess queries
+    /// are shed at admission with [`EngineError::Overloaded`] instead of
+    /// queueing without bound. [`Engine::query_batch`] also caps its
+    /// worker fan-out here (its own requests queue rather than shed).
+    /// Unset means no gate (every caller thread runs).
+    pub max_concurrent_queries: Option<usize>,
+    /// When set, a query that trips its deadline is retried once with a
+    /// fresh budget of this duration (under the default solver fallback
+    /// chain) before the error surfaces — a late degraded answer beats
+    /// none. Salvaged queries count in
+    /// [`EngineStats::degraded_answers`]. Unset disables the retry.
+    pub degraded_grace: Option<Duration>,
 }
 
 /// Cap on retained query-latency samples. Once full, new samples
@@ -613,9 +698,34 @@ pub struct Engine {
     full_rebuilds: u64,
     switches_changed: u64,
     switches_recompiled: u64,
+    hop_cache_evictions: u64,
     queries: AtomicU64,
     latencies_ns: Mutex<LatencyRing>,
     hop_cache_limit: Option<usize>,
+    // Durability: the write-ahead journal (None for an in-memory-only
+    // engine) and how many times this state was rebuilt by recovery.
+    journal: Option<journal::JournalWriter>,
+    recoveries: u64,
+    // Overload tolerance: the admission gate and its gauges.
+    max_concurrent_queries: Option<usize>,
+    degraded_grace: Option<Duration>,
+    active_queries: AtomicUsize,
+    queries_shed: AtomicU64,
+    degraded_answers: AtomicU64,
+}
+
+/// What [`Engine::recover`] rebuilt and repaired.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryReport {
+    /// Models rebuilt from the snapshot checkpoint.
+    pub snapshot_models: usize,
+    /// Committed journal records replayed past the snapshot offset.
+    pub records_replayed: u64,
+    /// Intent records with no commit marker — operations that failed (or
+    /// died) mid-flight and were correctly *not* replayed.
+    pub uncommitted_intents: u64,
+    /// Torn-tail bytes truncated off the journal before resuming.
+    pub truncated_bytes: u64,
 }
 
 impl Default for Engine {
@@ -643,10 +753,256 @@ impl Engine {
             full_rebuilds: 0,
             switches_changed: 0,
             switches_recompiled: 0,
+            hop_cache_evictions: 0,
             queries: AtomicU64::new(0),
             latencies_ns: Mutex::new(LatencyRing::new()),
             hop_cache_limit: config.hop_cache_limit,
+            journal: None,
+            recoveries: 0,
+            max_concurrent_queries: config.max_concurrent_queries,
+            degraded_grace: config.degraded_grace,
+            active_queries: AtomicUsize::new(0),
+            queries_shed: AtomicU64::new(0),
+            degraded_answers: AtomicU64::new(0),
         }
+    }
+
+    /// Creates a **journaling** engine over a fresh durability directory:
+    /// every load, delta, and unload is appended to
+    /// `dir/`[`journal::JOURNAL_FILE`] *before* it mutates state, so a
+    /// crash at any point recovers ([`Engine::recover`]) to exactly the
+    /// state the survivor would have reported.
+    ///
+    /// This is a *fresh start*: any stale journal or snapshot in `dir`
+    /// is discarded. To resume an existing directory's state, use
+    /// [`Engine::recover`] instead.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] when the directory or journal cannot be
+    /// created.
+    pub fn with_journal(
+        config: EngineConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Engine, EngineError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| JournalError::Io(e.to_string()))?;
+        let snap = dir.join(journal::SNAPSHOT_FILE);
+        if snap.exists() {
+            std::fs::remove_file(&snap).map_err(|e| JournalError::Io(e.to_string()))?;
+        }
+        let writer = journal::JournalWriter::create(&dir.join(journal::JOURNAL_FILE))?;
+        let mut engine = Engine::new(config);
+        engine.journal = Some(writer);
+        Ok(engine)
+    }
+
+    /// Rebuilds an engine from a durability directory: the snapshot's
+    /// models (if one exists), then the journal's committed records past
+    /// the snapshot offset, applied in order through the normal
+    /// (non-journaling) load/apply/unload paths. A torn journal tail is
+    /// truncated (partial writes are expected on crash); interior
+    /// corruption is refused with a typed [`RecoveryError`]. Every
+    /// recovered model is then re-verified against a cold compile
+    /// ([`Engine::verify_against_cold`]) before the engine is handed
+    /// back, journaling resumed at the truncated tail.
+    ///
+    /// `config` should match the crashed engine's (the replay re-runs
+    /// its compiles under this config's budget and options).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError`]; the partially-built engine is dropped.
+    pub fn recover(
+        config: EngineConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Engine, RecoveryReport), RecoveryError> {
+        let dir = dir.as_ref();
+        let journal_path = dir.join(journal::JOURNAL_FILE);
+        let snapshot_path = dir.join(journal::SNAPSHOT_FILE);
+        if !journal_path.exists() && !snapshot_path.exists() {
+            return Err(RecoveryError::NothingToRecover);
+        }
+
+        let scanned = if journal_path.exists() {
+            journal::scan(&journal_path)?
+        } else {
+            journal::ScanResult {
+                records: Vec::new(),
+                valid_len: 0,
+                truncated_bytes: 0,
+            }
+        };
+        let snap = if snapshot_path.exists() {
+            let s = journal::read_snapshot(&snapshot_path)?;
+            if s.journal_offset > scanned.valid_len {
+                return Err(RecoveryError::Snapshot(format!(
+                    "snapshot taken at journal offset {} but only {} valid journal bytes exist",
+                    s.journal_offset, scanned.valid_len
+                )));
+            }
+            Some(s)
+        } else {
+            None
+        };
+
+        let mut engine = Engine::new(config);
+        let mut snapshot_models = 0usize;
+        if let Some(s) = &snap {
+            engine.next_id = s.next_id;
+            engine.deltas_applied = s.counters.deltas_applied;
+            engine.full_rebuilds = s.counters.full_rebuilds;
+            engine.switches_changed = s.counters.switches_changed;
+            for (id, desc) in &s.models {
+                let model = desc.build().map_err(|e| {
+                    RecoveryError::Snapshot(format!("model m{id} failed to build: {e}"))
+                })?;
+                engine.load_recovered(ModelId(*id), model).map_err(|e| {
+                    RecoveryError::Snapshot(format!("model m{id} failed to compile: {e}"))
+                })?;
+                snapshot_models += 1;
+            }
+        }
+
+        // Replay the committed tail. An intent with no commit marker is
+        // an operation that died (or failed) before its mutation — the
+        // survivor never saw it applied, so neither does the replay.
+        let floor = snap.as_ref().map_or(0, |s| s.journal_offset);
+        let committed = journal::committed(&scanned);
+        let intents = scanned
+            .records
+            .iter()
+            .filter(|(_, r)| !matches!(r, Record::Commit))
+            .count() as u64;
+        let mut replayed = 0u64;
+        for (offset, rec) in &committed {
+            if *offset < floor {
+                continue; // already inside the snapshot
+            }
+            let fail = |why: String| RecoveryError::Replay {
+                index: replayed,
+                why,
+            };
+            match rec {
+                Record::Load { id, desc } => {
+                    let model = desc.build().map_err(fail)?;
+                    engine
+                        .load_recovered(ModelId(*id), model)
+                        .map_err(|e| fail(e.to_string()))?;
+                    engine.next_id = engine.next_id.max(id + 1);
+                }
+                Record::Apply { id, delta } => {
+                    // The engine's journal is still `None`, so this is
+                    // the ordinary apply path minus journaling — same
+                    // compile, same accounting.
+                    engine
+                        .apply(ModelId(*id), delta.clone())
+                        .map_err(|e| fail(e.to_string()))?;
+                }
+                Record::Unload { id } => {
+                    engine
+                        .unload(ModelId(*id))
+                        .map_err(|e| fail(e.to_string()))?;
+                }
+                Record::Commit => unreachable!("committed() never yields markers"),
+            }
+            replayed += 1;
+        }
+
+        // The recovered state must not merely load — it must be the
+        // ground truth. Re-verify every model against a cold compile.
+        let ids: Vec<ModelId> = engine.models.keys().copied().collect();
+        for id in ids {
+            match engine.verify_against_cold(id) {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Err(RecoveryError::Verify(format!(
+                        "model {id} differs from a cold compile"
+                    )))
+                }
+                Err(e) => return Err(RecoveryError::Verify(format!("model {id}: {e}"))),
+            }
+        }
+
+        // Truncate the torn tail for real and resume journaling there.
+        let writer = journal::JournalWriter::open_at(
+            &journal_path,
+            scanned.valid_len,
+            scanned.records.len() as u64,
+        )
+        .map_err(|e| RecoveryError::Io(e.to_string()))?;
+        engine.journal = Some(writer);
+        engine.recoveries = 1;
+
+        Ok((
+            engine,
+            RecoveryReport {
+                snapshot_models,
+                records_replayed: replayed,
+                uncommitted_intents: intents - committed.len() as u64,
+                truncated_bytes: scanned.truncated_bytes,
+            },
+        ))
+    }
+
+    /// Writes a snapshot checkpoint of the durable state — every loaded
+    /// model's description (not its FDD — recompilation is the source of
+    /// truth), the id counter, the delta accounting, and the journal
+    /// offset — atomically (temp file + rename). Recovery from a
+    /// snapshot replays only the journal records past its offset, so
+    /// periodic snapshots bound replay time for long delta histories.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] on write failure.
+    pub fn snapshot(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
+        let snap = journal::Snapshot {
+            journal_offset: self.journal.as_ref().map_or(0, |w| w.offset()),
+            next_id: self.next_id,
+            models: self
+                .models
+                .iter()
+                .map(|(id, e)| (id.0, ModelDescription::of(&e.model)))
+                .collect(),
+            counters: journal::SnapshotCounters {
+                deltas_applied: self.deltas_applied,
+                full_rebuilds: self.full_rebuilds,
+                switches_changed: self.switches_changed,
+            },
+        };
+        journal::write_snapshot(path.as_ref(), &snap)?;
+        Ok(())
+    }
+
+    /// Appends an intent record (before any mutation), returning the
+    /// rollback mark for [`Engine::journal_commit`]. No-op without a
+    /// journal.
+    fn journal_intent(&mut self, rec: &Record) -> Result<Option<(u64, u64)>, EngineError> {
+        match &mut self.journal {
+            None => Ok(None),
+            Some(w) => {
+                let mark = (w.offset(), w.records());
+                w.append(rec)?;
+                Ok(Some(mark))
+            }
+        }
+    }
+
+    /// Appends the commit marker for the intent at `mark`. On failure
+    /// the intent is rolled back (best effort — a rollback failure
+    /// poisons the writer, and the uncommitted intent is skipped by
+    /// replay anyway), and the caller must leave the engine unmutated.
+    fn journal_commit(&mut self, mark: Option<(u64, u64)>) -> Result<(), EngineError> {
+        let Some(w) = &mut self.journal else {
+            return Ok(());
+        };
+        if let Err(e) = w.append(&Record::Commit) {
+            if let Some((offset, records)) = mark {
+                let _ = w.abort_to(offset, records);
+            }
+            return Err(e.into());
+        }
+        Ok(())
     }
 
     /// The engine's shared manager (for cross-manager imports in
@@ -670,25 +1026,73 @@ impl Engine {
     /// Propagates compile failures; the engine state is unchanged on
     /// error.
     pub fn load(&mut self, model: NetworkModel) -> Result<ModelId, EngineError> {
-        let (fdd, inputs, _) = self.compile_incremental(&model)?;
         let id = ModelId(self.next_id);
+        // Write-ahead: the intent hits the journal before any state
+        // moves. A compile failure below leaves it uncommitted, and
+        // replay skips uncommitted intents.
+        let mark = self.journal_intent(&Record::Load {
+            id: id.0,
+            desc: ModelDescription::of(&model),
+        })?;
+        let (fdd, inputs, _) = self.compile_incremental(&model)?;
+        self.journal_commit(mark)?;
         self.next_id += 1;
         self.models.insert(id, ModelEntry { model, fdd, inputs });
         self.enforce_hop_cache_limit();
         Ok(id)
     }
 
-    /// Drops a loaded model. Its cached per-switch diagrams stay in the
-    /// cache (other models may share them).
+    /// Loads a model under a recovery-dictated id, bypassing the journal
+    /// (recovery replays the journal; re-journaling would double it).
+    fn load_recovered(&mut self, id: ModelId, model: NetworkModel) -> Result<(), EngineError> {
+        if self.models.contains_key(&id) {
+            return Err(EngineError::InvalidDelta(format!(
+                "duplicate model id {id} in recovery stream"
+            )));
+        }
+        let (fdd, inputs, _) = self.compile_incremental(&model)?;
+        self.models.insert(id, ModelEntry { model, fdd, inputs });
+        self.enforce_hop_cache_limit();
+        Ok(())
+    }
+
+    /// Drops a loaded model and auto-trims its now-unreferenced hop-cache
+    /// entries (diagrams other loaded models still reference stay warm);
+    /// the evictions count in [`EngineStats::hop_cache_evictions`].
     ///
     /// # Errors
     ///
-    /// [`EngineError::UnknownModel`] if `id` is not loaded.
+    /// [`EngineError::UnknownModel`] if `id` is not loaded;
+    /// [`EngineError::Journal`] when the intent cannot be journaled (the
+    /// model stays loaded).
     pub fn unload(&mut self, id: ModelId) -> Result<(), EngineError> {
-        self.models
-            .remove(&id)
-            .map(|_| ())
-            .ok_or(EngineError::UnknownModel(id))
+        if !self.models.contains_key(&id) {
+            return Err(EngineError::UnknownModel(id));
+        }
+        let mark = self.journal_intent(&Record::Unload { id: id.0 })?;
+        self.journal_commit(mark)?;
+        self.unload_internal(id);
+        Ok(())
+    }
+
+    /// The journal-free unload: remove the entry, then evict every hop
+    /// diagram it referenced that no remaining model does.
+    fn unload_internal(&mut self, id: ModelId) {
+        let entry = self.models.remove(&id).expect("caller checked presence");
+        let live: HashSet<&HopInputs> = self
+            .models
+            .values()
+            .flat_map(|e| e.inputs.values())
+            .collect();
+        let mut evicted = 0u64;
+        for inp in entry.inputs.values() {
+            if !live.contains(inp) && self.hops.remove(inp).is_some() {
+                evicted += 1;
+            }
+        }
+        drop(live);
+        self.hop_cache_evictions += evicted;
+        self.enforce_hop_cache_limit();
     }
 
     /// The current model behind a handle.
@@ -735,6 +1139,13 @@ impl Engine {
         let next = delta.apply_to(&entry.model)?;
         let touched = delta.touched(&entry.model);
         let full_rebuild = delta.is_structural();
+        // Write-ahead: the delta hits the journal before any engine
+        // state moves. If the compile below fails, the intent stays
+        // uncommitted and replay skips it — journal and survivor agree.
+        let mark = self.journal_intent(&Record::Apply {
+            id: id.0,
+            delta: delta.clone(),
+        })?;
         // Shared structure moved under the cache: a structural delta
         // recompiles against a fresh cache so no stale field/budget
         // coupling survives. The pre-delta cache is kept aside and only
@@ -751,17 +1162,29 @@ impl Engine {
                 .inputs,
         );
         let compiled = self.compile_incremental(&next);
-        let entry = self.models.get_mut(&id).expect("entry looked up above");
+        let restore = |engine: &mut Engine, old_inputs, saved_hops: Option<_>| {
+            engine
+                .models
+                .get_mut(&id)
+                .expect("entry looked up above")
+                .inputs = old_inputs;
+            if let Some(old) = saved_hops {
+                engine.hops = old;
+            }
+        };
         let (fdd, inputs, recompiled) = match compiled {
             Ok(v) => v,
             Err(e) => {
-                entry.inputs = old_inputs; // keep the pre-delta state intact
-                if let Some(old) = saved_hops {
-                    self.hops = old;
-                }
+                restore(self, old_inputs, saved_hops); // pre-delta state intact
                 return Err(e);
             }
         };
+        // Commit marker before the (infallible) in-memory mutation: a
+        // crash on either side of it leaves journal and state agreeing.
+        if let Err(e) = self.journal_commit(mark) {
+            restore(self, old_inputs, saved_hops);
+            return Err(e);
+        }
         if full_rebuild {
             self.full_rebuilds += 1;
         }
@@ -776,6 +1199,7 @@ impl Engine {
                 .all(|(s, _)| touched.contains(*s)),
             "a switch outside the delta's declared touched set changed inputs"
         );
+        let entry = self.models.get_mut(&id).expect("entry looked up above");
         entry.model = next;
         entry.fdd = fdd;
         entry.inputs = inputs;
@@ -816,6 +1240,7 @@ impl Engine {
         let hop_misses = &mut self.hop_misses;
         let body = assemble_chain(mgr, model, |s| {
             // Per-switch budget checkpoint, mirroring the batch pipeline.
+            serve_failpoint("serve::apply::patch")?;
             opts.budget.check_external()?;
             let inp = hop_inputs(model, s, &sp);
             let fdd = match hops.get(&inp) {
@@ -834,6 +1259,7 @@ impl Engine {
             inputs.insert(s, inp);
             Ok(fdd)
         })?;
+        serve_failpoint("serve::apply::assemble")?;
         let fdd = assemble_model(&self.mgr, model, body, &self.opts)?;
         #[cfg(feature = "audit")]
         self.audit_patched(model, fdd);
@@ -876,57 +1302,116 @@ impl Engine {
     /// each under its own budget. Results come back in request order;
     /// each failure is per-query (one budget trip doesn't poison the
     /// batch).
+    ///
+    /// Worker fan-out is capped at
+    /// [`EngineConfig::max_concurrent_queries`] (falling back to the
+    /// machine's parallelism), and the requests past the cap *queue* on
+    /// the workers' shared cursor rather than spawning threads — a 10k
+    /// query batch runs on a handful of threads. Under cross-batch
+    /// contention, individual queries can still shed with
+    /// [`EngineError::Overloaded`] (the admission gate is global).
     pub fn query_batch(&self, reqs: &[QueryRequest]) -> Vec<Result<Answer, EngineError>> {
         if reqs.is_empty() {
             return Vec::new();
         }
-        let workers = std::thread::available_parallelism()
+        let hardware = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
-            .min(reqs.len());
-        let chunk = reqs.len().div_ceil(workers);
+            .unwrap_or(1);
+        let workers = reqs
+            .len()
+            .min(self.max_concurrent_queries.unwrap_or(hardware))
+            .max(1);
+        let slots: Vec<OnceLock<Result<Answer, EngineError>>> =
+            (0..reqs.len()).map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = reqs
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move || {
-                        slice
-                            .iter()
-                            .map(|r| self.query(r))
-                            .collect::<Vec<Result<Answer, EngineError>>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("query worker panicked"))
-                .collect()
-        })
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(req) = reqs.get(i) else { break };
+                    let result = self.query(req);
+                    slots[i]
+                        .set(result)
+                        .map_err(|_| "slot")
+                        .expect("slot set once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every slot filled by a worker"))
+            .collect()
     }
 
     /// Answers one query under its budget, recording its latency.
     ///
-    /// Budgets gate admission (a cancelled or expired budget rejects the
-    /// query before any work) and are re-checked between steps of
-    /// multi-part queries; a query that completes its computation returns
-    /// its answer even if the deadline passed meanwhile — a late exact
-    /// answer is still an answer.
+    /// Admission happens in two layers. First the concurrency gate:
+    /// when [`EngineConfig::max_concurrent_queries`] queries are already
+    /// in flight, the query is *shed* with [`EngineError::Overloaded`]
+    /// before any work. Then the budget: a cancelled or expired budget
+    /// rejects the query, and limits are re-checked against the manager
+    /// between steps of multi-part queries. A query that completes its
+    /// computation returns its answer even if the deadline passed
+    /// meanwhile — a late exact answer is still an answer — and a query
+    /// that *trips* its deadline gets one degraded retry under
+    /// [`EngineConfig::degraded_grace`] (when configured) before the
+    /// error surfaces.
     ///
     /// # Errors
     ///
-    /// [`EngineError::UnknownModel`], a budget-trip [`CompileError`], or
-    /// a propagated compile failure (the teleport check compiles its
-    /// specification on first use).
+    /// [`EngineError::Overloaded`], [`EngineError::UnknownModel`], a
+    /// budget-trip [`CompileError`], or a propagated compile failure
+    /// (the teleport check compiles its specification on first use).
     pub fn query(&self, req: &QueryRequest) -> Result<Answer, EngineError> {
         let start = Instant::now();
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let result = self.answer(req);
+        let _permit = self.admit()?;
+        let mut result = self.answer(req);
+        if let (Err(EngineError::Compile(CompileError::DeadlineExceeded)), Some(grace)) =
+            (&result, self.degraded_grace)
+        {
+            // Degraded path: one bounded retry with a fresh deadline.
+            // The solver fallback chain (`CompileOptions::fallback`)
+            // already runs under `answer`, so the retry's only new
+            // allowance is time.
+            let retry = QueryRequest {
+                query: req.query.clone(),
+                budget: Budget::unlimited().with_deadline(grace),
+            };
+            if let Ok(answer) = self.answer(&retry) {
+                self.degraded_answers.fetch_add(1, Ordering::Relaxed);
+                result = Ok(answer);
+            }
+        }
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.latencies_ns
             .lock()
             .expect("latency gauge poisoned")
             .push(ns);
         result
+    }
+
+    /// The admission gate: takes a concurrency permit or sheds.
+    fn admit(&self) -> Result<Option<QueryPermit<'_>>, EngineError> {
+        let Some(limit) = self.max_concurrent_queries else {
+            return Ok(None);
+        };
+        let mut active = self.active_queries.load(Ordering::Relaxed);
+        loop {
+            if active >= limit {
+                self.queries_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::Overloaded { active, limit });
+            }
+            match self.active_queries.compare_exchange_weak(
+                active,
+                active + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(Some(QueryPermit(&self.active_queries))),
+                Err(now) => active = now,
+            }
+        }
     }
 
     fn answer(&self, req: &QueryRequest) -> Result<Answer, EngineError> {
@@ -999,6 +1484,13 @@ impl Engine {
             op_cache_misses: op.total_misses(),
             op_cache_evictions: op.total_evictions(),
             peak_live_nodes: self.mgr.peak_live_nodes(),
+            journal_bytes: self.journal.as_ref().map_or(0, |w| w.offset()),
+            journal_records: self.journal.as_ref().map_or(0, |w| w.records()),
+            journal_poisoned: self.journal.as_ref().is_some_and(|w| w.is_poisoned()),
+            recoveries: self.recoveries,
+            queries_shed: self.queries_shed.load(Ordering::Relaxed),
+            degraded_answers: self.degraded_answers.load(Ordering::Relaxed),
+            hop_cache_evictions: self.hop_cache_evictions,
         }
     }
 
@@ -1018,14 +1510,16 @@ impl Engine {
     /// diagrams (and the manager nodes they pin) after an unload or a
     /// burst of one-off deltas.
     pub fn trim_hop_cache(&mut self) -> usize {
-        let live: std::collections::HashSet<&HopInputs> = self
+        let live: HashSet<&HopInputs> = self
             .models
             .values()
             .flat_map(|e| e.inputs.values())
             .collect();
         let before = self.hops.len();
         self.hops.retain(|inp, _| live.contains(inp));
-        before - self.hops.len()
+        let evicted = before - self.hops.len();
+        self.hop_cache_evictions += evicted as u64;
+        evicted
     }
 
     /// Applies the configured hop-cache bound after a successful
@@ -1037,6 +1531,40 @@ impl Engine {
         {
             self.trim_hop_cache();
         }
+    }
+}
+
+/// An admission-gate permit: holding one means the query is counted in
+/// `active_queries`; dropping it (on any exit path) releases the slot.
+struct QueryPermit<'a>(&'a AtomicUsize);
+
+impl Drop for QueryPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Polls a serve-engine failpoint through the shared registry
+/// ([`mcnetkat_fdd::failpoints`]). Compiles away without the
+/// `failpoints` feature. `Singular` is mapped to a solver error (the
+/// generic injected failure at non-solver sites), `Cancel` to
+/// [`CompileError::Cancelled`].
+fn serve_failpoint(site: &str) -> Result<(), CompileError> {
+    #[cfg(feature = "failpoints")]
+    {
+        use mcnetkat_fdd::failpoints::{check, InjectedFault};
+        match check(site) {
+            None => Ok(()),
+            Some(InjectedFault::Cancelled) => Err(CompileError::Cancelled),
+            Some(InjectedFault::Singular) => {
+                Err(CompileError::Solver(mcnetkat_fdd::LinalgError::Singular(0)))
+            }
+        }
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = site;
+        Ok(())
     }
 }
 
@@ -1186,10 +1714,7 @@ mod tests {
         let next = Delta::SetTopology(t2).apply_to(&model).unwrap();
         assert_eq!(next.dst, a2);
         assert_eq!(next.scheme_overrides.len(), 1);
-        assert_eq!(
-            next.scheme_overrides.get(&c2),
-            Some(&RoutingScheme::F10_3)
-        );
+        assert_eq!(next.scheme_overrides.get(&c2), Some(&RoutingScheme::F10_3));
 
         // A topology without the destination's name is rejected.
         let mut t3 = Topology::new();
